@@ -1,0 +1,88 @@
+// Command venuegen generates the paper's evaluation venues and writes them
+// as JSON, renders them as SVG floor plans, or prints their statistics.
+//
+// Usage:
+//
+//	venuegen -venue MC -out mc.json
+//	venuegen -venue CPH -svg cph        # writes cph-L0.svg, cph-L1.svg, ...
+//	venuegen -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	ifls "github.com/indoorspatial/ifls"
+	"github.com/indoorspatial/ifls/internal/render"
+)
+
+func main() {
+	venue := flag.String("venue", "MC", "venue to generate: MC, CH, CPH, or MZB")
+	out := flag.String("out", "", "output file (default stdout)")
+	svg := flag.String("svg", "", "render SVG floor plans to <prefix>-L<level>.svg instead of JSON")
+	stats := flag.Bool("stats", false, "print statistics for all venues instead of JSON")
+	flag.Parse()
+
+	if *stats {
+		if err := printStats(); err != nil {
+			fmt.Fprintln(os.Stderr, "venuegen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *svg != "" {
+		if err := renderSVG(*venue, *svg); err != nil {
+			fmt.Fprintln(os.Stderr, "venuegen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	v, err := ifls.SampleVenue(*venue)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "venuegen:", err)
+		os.Exit(1)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "venuegen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := v.WriteJSON(w); err != nil {
+		fmt.Fprintln(os.Stderr, "venuegen:", err)
+		os.Exit(1)
+	}
+}
+
+func renderSVG(name, prefix string) error {
+	v, err := ifls.SampleVenue(name)
+	if err != nil {
+		return err
+	}
+	return render.AllLevels(v, nil, render.Style{}, func(level int) (io.WriteCloser, error) {
+		path := fmt.Sprintf("%s-L%d.svg", prefix, level)
+		fmt.Println("writing", path)
+		return os.Create(path)
+	})
+}
+
+func printStats() error {
+	fmt.Printf("%-6s %12s %8s %10s %8s %8s %8s %12s\n",
+		"venue", "partitions", "doors", "levels", "rooms", "corr", "stairs", "extent (m)")
+	for _, name := range ifls.SampleVenueNames() {
+		v, err := ifls.SampleVenue(name)
+		if err != nil {
+			return err
+		}
+		s := v.Stats()
+		fmt.Printf("%-6s %12d %8d %10d %8d %8d %8d %6.0fx%-5.0f\n",
+			name, s.Partitions, s.Doors, s.Levels, s.Rooms, s.Corridors, s.Stairs, s.ExtentX, s.ExtentY)
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module github.com/indoorspatial/ifls
+
+go 1.22

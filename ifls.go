@@ -1,0 +1,407 @@
+// Package ifls is a Go library for Indoor Facility Location Selection
+// queries, reproducing "An Efficient Approach for Indoor Facility Location
+// Selection" (Rayhan, Hashem, Cheema, Lu, Ali — EDBT 2023).
+//
+// Given an indoor venue (partitions connected by doors and stairs), a set of
+// clients, a set of existing facilities, and a set of candidate locations,
+// an IFLS query returns the candidate that minimizes the maximum indoor
+// distance of any client to its nearest facility (the MinMax objective);
+// MinDist (minimum total distance) and MaxSum (maximum captured clients)
+// variants are also provided.
+//
+// # Building a venue
+//
+// Model the venue with a Builder: add rooms, corridors, and stairs, connect
+// them with doors, and Build. Venues can also be loaded from JSON
+// (LoadVenue) or generated (SampleVenue reproduces the four venues of the
+// paper's evaluation).
+//
+//	b := ifls.NewBuilder("office")
+//	hall := b.AddCorridor(ifls.R(0, 0, 30, 4, 0), "hall")
+//	cafe := b.AddRoom(ifls.R(0, 4, 10, 14, 0), "cafe", "dining")
+//	b.AddDoor(ifls.Pt(5, 4, 0), cafe, hall)
+//	...
+//	venue, err := b.Build()
+//
+// # Querying
+//
+// Build an Index (a VIP-tree) once per venue, then run queries against it:
+//
+//	ix, _ := ifls.NewIndex(venue)
+//	res := ix.Solve(&ifls.Query{
+//		Existing:   []ifls.PartitionID{cafe},
+//		Candidates: candidates,
+//		Clients:    clients,
+//	})
+//	if res.Found {
+//		fmt.Println("place the new facility in", res.Answer)
+//	}
+//
+// Solve is the paper's efficient approach; SolveBaseline is the modified
+// MinMax baseline the paper compares against; SolveMinDist and SolveMaxSum
+// are the Section 7 extensions. The Index also answers plain indoor
+// distance and nearest-facility queries.
+package ifls
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"github.com/indoorspatial/ifls/internal/core"
+	"github.com/indoorspatial/ifls/internal/geom"
+	"github.com/indoorspatial/ifls/internal/indoor"
+	"github.com/indoorspatial/ifls/internal/locate"
+	"github.com/indoorspatial/ifls/internal/motion"
+	"github.com/indoorspatial/ifls/internal/temporal"
+	"github.com/indoorspatial/ifls/internal/venues"
+	"github.com/indoorspatial/ifls/internal/vip"
+	"github.com/indoorspatial/ifls/internal/workload"
+)
+
+// Core model types, re-exported from the internal packages.
+type (
+	// Venue is a complete indoor space: partitions connected by doors.
+	Venue = indoor.Venue
+	// Builder assembles and validates a Venue.
+	Builder = indoor.Builder
+	// Partition is one indoor space unit (room, corridor, or stairwell).
+	Partition = indoor.Partition
+	// Door connects two partitions at a point.
+	Door = indoor.Door
+	// PartitionID identifies a partition within its venue.
+	PartitionID = indoor.PartitionID
+	// DoorID identifies a door within its venue.
+	DoorID = indoor.DoorID
+	// Point is a located coordinate (x, y, level).
+	Point = geom.Point
+	// Rect is an axis-aligned rectangle on one level.
+	Rect = geom.Rect
+	// Client is a located query client.
+	Client = core.Client
+	// Query is an IFLS instance: existing facilities, candidate
+	// locations, and clients.
+	Query = core.Query
+	// Result is a MinMax query outcome.
+	Result = core.Result
+	// ExtResult is a MinDist/MaxSum query outcome.
+	ExtResult = core.ExtResult
+	// Stats counts solver work (distance computations, prunes, ...).
+	Stats = core.Stats
+)
+
+// NoPartition marks the absence of a partition.
+const NoPartition = indoor.NoPartition
+
+// NewBuilder starts a venue description.
+func NewBuilder(name string) *Builder { return indoor.NewBuilder(name) }
+
+// Pt constructs a Point.
+func Pt(x, y float64, level int) Point { return geom.Pt(x, y, level) }
+
+// R constructs a Rect from corner coordinates on a level.
+func R(x0, y0, x1, y1 float64, level int) Rect { return geom.R(x0, y0, x1, y1, level) }
+
+// LoadVenue reads a venue from its JSON representation and validates it.
+func LoadVenue(r io.Reader) (*Venue, error) { return indoor.ReadJSON(r) }
+
+// SampleVenue generates one of the paper's four evaluation venues by short
+// name: "MC" (Melbourne Central), "CH" (Chadstone), "CPH" (Copenhagen
+// Airport), or "MZB" (Menzies Building).
+func SampleVenue(name string) (*Venue, error) { return venues.ByName(name) }
+
+// SampleVenueNames lists the venue names SampleVenue accepts.
+func SampleVenueNames() []string { return append([]string(nil), venues.Names...) }
+
+// IndexOptions configure index construction.
+type IndexOptions struct {
+	// LeafFanout is the maximum number of partitions per index leaf
+	// (default 8).
+	LeafFanout int
+	// NodeFanout is the maximum number of children per internal index
+	// node (default 4).
+	NodeFanout int
+	// IPTree disables the VIP-tree's leaf-to-ancestor matrices, building
+	// the smaller but slower IP-tree instead.
+	IPTree bool
+}
+
+// Index is a queryable VIP-tree over one venue. Safe for concurrent reads.
+type Index struct {
+	venue   *indoor.Venue
+	tree    *vip.Tree
+	locator *locate.Locator
+}
+
+// NewIndex builds an Index with default options.
+func NewIndex(v *Venue) (*Index, error) { return NewIndexWithOptions(v, IndexOptions{}) }
+
+// NewIndexWithOptions builds an Index with explicit options.
+func NewIndexWithOptions(v *Venue, opts IndexOptions) (*Index, error) {
+	o := vip.DefaultOptions()
+	if opts.LeafFanout != 0 {
+		o.LeafFanout = opts.LeafFanout
+	}
+	if opts.NodeFanout != 0 {
+		o.NodeFanout = opts.NodeFanout
+	}
+	o.Vivid = !opts.IPTree
+	t, err := vip.Build(v, o)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{venue: v, tree: t, locator: locate.New(v)}, nil
+}
+
+// Venue returns the indexed venue.
+func (ix *Index) Venue() *Venue { return ix.venue }
+
+// Save persists the index (structure and distance matrices) so a later
+// process can LoadIndex it without recomputing — the "indexed once offline"
+// deployment the paper assumes. The venue is persisted separately with
+// Venue.WriteJSON.
+func (ix *Index) Save(w io.Writer) error { return ix.tree.Save(w) }
+
+// LoadIndex restores an index previously written with Index.Save, bound to
+// the venue it was built from.
+func LoadIndex(r io.Reader, v *Venue) (*Index, error) {
+	t, err := vip.Load(r, v)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{venue: v, tree: t, locator: locate.New(v)}, nil
+}
+
+// Solve answers a MinMax IFLS query with the paper's efficient approach.
+func (ix *Index) Solve(q *Query) Result { return core.Solve(ix.tree, q) }
+
+// SolveBaseline answers the query with the modified MinMax baseline
+// (Algorithm 1), provided for comparison and benchmarking.
+func (ix *Index) SolveBaseline(q *Query) Result { return core.SolveBaseline(ix.tree, q) }
+
+// SolveMinDist answers the MinDist variant: the candidate minimizing the
+// total client-to-nearest-facility distance.
+func (ix *Index) SolveMinDist(q *Query) ExtResult { return core.SolveMinDist(ix.tree, q) }
+
+// SolveMaxSum answers the MaxSum variant: the candidate that captures the
+// most clients.
+func (ix *Index) SolveMaxSum(q *Query) ExtResult { return core.SolveMaxSum(ix.tree, q) }
+
+// RankedCandidate is one entry of a SolveTopK answer.
+type RankedCandidate = core.RankedCandidate
+
+// SolveTopK returns up to k candidates with the smallest MinMax objectives
+// in ascending order, each with its exact objective. Candidates that do not
+// improve on the status quo are omitted.
+func (ix *Index) SolveTopK(q *Query, k int) []RankedCandidate { return core.SolveTopK(ix.tree, q, k) }
+
+// MultiResult is the outcome of SolveMulti.
+type MultiResult = core.MultiResult
+
+// SolveMulti greedily selects k candidate locations for k new facilities:
+// each round solves a single-facility IFLS query and folds the winner into
+// the existing set. Joint k-facility MinMax selection is NP-hard; the
+// greedy chain is the standard practical approach.
+func (ix *Index) SolveMulti(q *Query, k int) MultiResult {
+	return core.SolveGreedyMulti(ix.tree, q, k)
+}
+
+// Locate returns the partition containing a point, or NoPartition.
+func (ix *Index) Locate(p Point) PartitionID { return ix.locator.PartitionAt(p) }
+
+// ClientAt builds a Client at a point, locating its partition. It returns
+// an error when the point is outside every partition.
+func (ix *Index) ClientAt(id int32, p Point) (Client, error) {
+	part := ix.locator.PartitionAt(p)
+	if part == NoPartition {
+		return Client{}, fmt.Errorf("ifls: point %v is outside venue %q", p, ix.venue.Name)
+	}
+	return Client{ID: id, Loc: p, Part: part}, nil
+}
+
+// Distance returns the exact indoor distance between two points. It returns
+// an error when either point is outside the venue.
+func (ix *Index) Distance(p, q Point) (float64, error) {
+	pp := ix.locator.PartitionAt(p)
+	qp := ix.locator.PartitionAt(q)
+	if pp == NoPartition || qp == NoPartition {
+		return 0, fmt.Errorf("ifls: point outside venue")
+	}
+	return ix.tree.DistPointToPoint(p, pp, q, qp), nil
+}
+
+// DistanceToPartition returns the exact indoor distance from a point to the
+// nearest reachable point of a partition.
+func (ix *Index) DistanceToPartition(p Point, target PartitionID) (float64, error) {
+	pp := ix.locator.PartitionAt(p)
+	if pp == NoPartition {
+		return 0, fmt.Errorf("ifls: point %v outside venue", p)
+	}
+	return ix.tree.DistPointToPartition(p, pp, target), nil
+}
+
+// NearestFacility returns the facility partition nearest to a point and its
+// distance, using the VIP-tree top-down search. facilities lists candidate
+// partitions; ok is false when the set is empty or the point is outside the
+// venue.
+func (ix *Index) NearestFacility(p Point, facilities []PartitionID) (nearest PartitionID, dist float64, ok bool) {
+	pp := ix.locator.PartitionAt(p)
+	if pp == NoPartition {
+		return NoPartition, 0, false
+	}
+	fs := vip.NewFacilitySet(ix.venue, facilities)
+	f, d := ix.tree.NearestFacility(p, pp, fs)
+	if f == NoPartition {
+		return NoPartition, 0, false
+	}
+	return f, d, true
+}
+
+// Route returns a shortest indoor route between two points: the sequence of
+// waypoints (start, the doors crossed, end) and the total indoor distance.
+// It returns an error when either point lies outside the venue.
+func (ix *Index) Route(p, q Point) ([]Point, float64, error) {
+	pp := ix.locator.PartitionAt(p)
+	qp := ix.locator.PartitionAt(q)
+	if pp == NoPartition || qp == NoPartition {
+		return nil, 0, fmt.Errorf("ifls: point outside venue")
+	}
+	doors, dist := ix.tree.Graph().PointRoute(p, pp, q, qp)
+	pts := make([]Point, 0, len(doors)+2)
+	pts = append(pts, p)
+	for _, d := range doors {
+		pts = append(pts, ix.venue.Door(d).Loc)
+	}
+	pts = append(pts, q)
+	return pts, dist, nil
+}
+
+// Session amortizes repeated queries on one index — the dynamic-crowd
+// scenario where the optimal location is recomputed as clients move. The
+// venue-dependent distance vectors computed by each query are retained and
+// reused by later ones. Not safe for concurrent use.
+type Session struct{ s *core.Session }
+
+// NewSession creates a query session over the index.
+func (ix *Index) NewSession() *Session { return &Session{s: core.NewSession(ix.tree)} }
+
+// Solve answers a MinMax IFLS query, reusing the session's caches.
+func (s *Session) Solve(q *Query) Result { return s.s.Solve(q) }
+
+// SolveTopK ranks up to k candidates, reusing the session's caches.
+func (s *Session) SolveTopK(q *Query, k int) []RankedCandidate { return s.s.SolveTopK(q, k) }
+
+// Neighbor is one entry of a KNearestFacilities or FacilitiesWithin answer.
+type Neighbor struct {
+	Facility PartitionID
+	Dist     float64
+}
+
+// KNearestFacilities returns up to k facilities nearest to a point in
+// ascending distance order with exact indoor distances. It returns nil when
+// the point is outside the venue.
+func (ix *Index) KNearestFacilities(p Point, facilities []PartitionID, k int) []Neighbor {
+	pp := ix.locator.PartitionAt(p)
+	if pp == NoPartition {
+		return nil
+	}
+	fs := vip.NewFacilitySet(ix.venue, facilities)
+	parts, dists := ix.tree.KNearestFacilities(p, pp, fs, k)
+	out := make([]Neighbor, len(parts))
+	for i := range parts {
+		out[i] = Neighbor{Facility: parts[i], Dist: dists[i]}
+	}
+	return out
+}
+
+// FacilitiesWithin returns every facility within indoor distance r of a
+// point (inclusive), in ascending distance order. It returns nil when the
+// point is outside the venue.
+func (ix *Index) FacilitiesWithin(p Point, facilities []PartitionID, r float64) []Neighbor {
+	pp := ix.locator.PartitionAt(p)
+	if pp == NoPartition {
+		return nil
+	}
+	fs := vip.NewFacilitySet(ix.venue, facilities)
+	res := ix.tree.RangeFacilities(p, pp, fs, r)
+	out := make([]Neighbor, len(res))
+	for i, e := range res {
+		out[i] = Neighbor{Facility: e.Facility, Dist: e.Dist}
+	}
+	return out
+}
+
+// Temporal variation: doors with opening schedules.
+
+// Schedule is a door's daily opening schedule (empty = always open).
+type Schedule = temporal.Schedule
+
+// Timetable assigns opening schedules to a venue's doors.
+type Timetable = temporal.Timetable
+
+// Daily returns a schedule with a single daily opening window.
+func Daily(open, close time.Duration) Schedule { return temporal.Daily(open, close) }
+
+// NewTimetable creates an empty timetable over the indexed venue; doors
+// without schedules stay always open.
+func (ix *Index) NewTimetable() *Timetable { return temporal.NewTimetable(ix.venue) }
+
+// SolveAt answers a MinMax IFLS query at a time of day: doors closed at
+// that time cannot be traversed. The computation runs exactly on the masked
+// door graph (the precomputed index assumes static topology), so it costs
+// one Dijkstra per client rather than the indexed solver's shared search.
+func (ix *Index) SolveAt(tt *Timetable, q *Query, at time.Duration) Result {
+	return temporal.SolveAt(ix.tree.Graph(), tt, q, at).Result
+}
+
+// DistanceAt returns the exact indoor distance between two points at a time
+// of day, +Inf when closed doors make them mutually unreachable.
+func (ix *Index) DistanceAt(tt *Timetable, at time.Duration, p, q Point) (float64, error) {
+	pp := ix.locator.PartitionAt(p)
+	qp := ix.locator.PartitionAt(q)
+	if pp == NoPartition || qp == NoPartition {
+		return 0, fmt.Errorf("ifls: point outside venue")
+	}
+	a := Client{Loc: p, Part: pp}
+	b := Client{Loc: q, Part: qp}
+	return temporal.DistAt(ix.tree.Graph(), tt, at, a, b), nil
+}
+
+// SimulationConfig parameterizes NewSimulation.
+type SimulationConfig = motion.Config
+
+// Simulation moves a population of walkers through the venue along exact
+// shortest indoor routes — the paper's dynamic-crowd / moving-clients
+// scenario. Snapshot feeds the current population straight into a Query.
+type Simulation = motion.Simulation
+
+// NewSimulation creates a crowd simulation over the indexed venue.
+func (ix *Index) NewSimulation(cfg SimulationConfig) (*Simulation, error) {
+	return motion.NewSimulation(ix.venue, ix.tree.Graph(), cfg)
+}
+
+// Workload generation, re-exported for examples and downstream load tests.
+
+// Distribution selects a spatial client distribution.
+type Distribution = workload.Distribution
+
+// Client distribution kinds.
+const (
+	Uniform = workload.Uniform
+	Normal  = workload.Normal
+)
+
+// WorkloadGenerator draws clients and facility selections for a venue.
+type WorkloadGenerator = workload.Generator
+
+// NewWorkloadGenerator builds a generator for v.
+func NewWorkloadGenerator(v *Venue) *WorkloadGenerator { return workload.NewGenerator(v) }
+
+// RandomQuery draws a complete synthetic-setting query: nExist existing
+// facilities and nCand candidates chosen uniformly from rooms, and nClients
+// clients from the given distribution.
+func RandomQuery(v *Venue, nExist, nCand, nClients int, dist Distribution, sigma float64, seed int64) *Query {
+	g := workload.NewGenerator(v)
+	return g.Query(nExist, nCand, nClients, dist, sigma, rand.New(rand.NewSource(seed)))
+}

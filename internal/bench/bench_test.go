@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/indoorspatial/ifls/internal/workload"
+)
+
+func TestValidateParams(t *testing.T) {
+	if err := Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable2Shapes(t *testing.T) {
+	for name, p := range Table2 {
+		if len(p.FeSweep) != 5 {
+			t.Errorf("%s: Fe sweep has %d points, want 5", name, len(p.FeSweep))
+		}
+		if len(p.FnSweep) != 5 {
+			t.Errorf("%s: Fn sweep has %d points, want 5", name, len(p.FnSweep))
+		}
+		if p.FeDefault != (p.FeSweep[0]+p.FeSweep[4])/2 {
+			t.Errorf("%s: Fe default %d is not the range mean", name, p.FeDefault)
+		}
+		if p.FnDefault != (p.FnSweep[0]+p.FnSweep[4])/2 {
+			t.Errorf("%s: Fn default %d is not the range mean", name, p.FnDefault)
+		}
+	}
+}
+
+func TestConfigScaled(t *testing.T) {
+	cfg := DefaultConfig().Scaled(100)
+	if cfg.ClientDefault != 100 {
+		t.Errorf("scaled default = %d, want 100", cfg.ClientDefault)
+	}
+	if cfg.ClientSweep[0] != 10 {
+		t.Errorf("scaled sweep floor = %d, want 10", cfg.ClientSweep[0])
+	}
+	if same := DefaultConfig().Scaled(1); same.ClientDefault != ClientDefault {
+		t.Error("Scaled(1) must be identity")
+	}
+}
+
+func TestRunnerSmallCell(t *testing.T) {
+	r := NewRunner()
+	r.Queries = 2
+	cell := Cell{Venue: "CPH", Dist: workload.Uniform, NClients: 50,
+		NExist: Table2["CPH"].FeDefault, NCand: Table2["CPH"].FnDefault, Seed: 7}
+	eff, err := r.Run(cell, Efficient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := r.Run(cell, Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff.MeanTime <= 0 || base.MeanTime <= 0 {
+		t.Fatalf("non-positive times: %v / %v", eff.MeanTime, base.MeanTime)
+	}
+	if eff.Queries != 2 {
+		t.Fatalf("Queries = %d", eff.Queries)
+	}
+	if eff.MeanAllocMB < 0 || base.MeanAllocMB < 0 {
+		t.Fatal("negative memory measurement")
+	}
+}
+
+func TestRunnerRealSetting(t *testing.T) {
+	r := NewRunner()
+	r.Queries = 1
+	cell := Cell{Venue: "MC", Category: DefaultConfig().RealDefaultCategory,
+		Dist: workload.Normal, Sigma: 0.5, NClients: 100, Seed: 3}
+	m, err := r.Run(cell, Efficient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MeanTime <= 0 {
+		t.Fatal("no time measured")
+	}
+}
+
+func TestRunnerUnknownVenue(t *testing.T) {
+	r := NewRunner()
+	if _, err := r.Run(Cell{Venue: "LAX"}, Efficient); err == nil {
+		t.Fatal("expected error for unknown venue")
+	}
+}
+
+func TestCellString(t *testing.T) {
+	c := Cell{Venue: "MC", NClients: 10, NExist: 1, NCand: 2, Dist: workload.Uniform}
+	if s := c.String(); !strings.Contains(s, "MC") || !strings.Contains(s, "syn") {
+		t.Errorf("Cell.String = %q", s)
+	}
+	c.Category = "dining & entertainment"
+	if s := c.String(); !strings.Contains(s, "real:") {
+		t.Errorf("Cell.String = %q", s)
+	}
+}
+
+func TestFigureDriversSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure smoke runs take seconds")
+	}
+	r := NewRunner()
+	r.Queries = 1
+	cfg := DefaultConfig().Scaled(500) // ~20-40 clients per cell
+	cfg.ClientSweep = cfg.ClientSweep[:2]
+	cfg.SigmaSweep = cfg.SigmaSweep[:2]
+	cfg.Venues = []string{"CPH"}
+	cfg.Categories = cfg.Categories[:1]
+	for _, fig := range FigureOrder {
+		var buf bytes.Buffer
+		ms, err := Figures[fig](&buf, r, cfg)
+		if err != nil {
+			t.Fatalf("figure %s: %v", fig, err)
+		}
+		if len(ms) == 0 {
+			t.Fatalf("figure %s produced no measurements", fig)
+		}
+		if !strings.Contains(buf.String(), "—") {
+			t.Fatalf("figure %s produced no table:\n%s", fig, buf.String())
+		}
+		for _, m := range ms {
+			if m.MeanTime <= 0 {
+				t.Fatalf("figure %s: empty measurement %+v", fig, m)
+			}
+		}
+	}
+}

@@ -1,0 +1,541 @@
+package core
+
+import (
+	"math"
+
+	"github.com/indoorspatial/ifls/internal/indoor"
+	"github.com/indoorspatial/ifls/internal/pq"
+	"github.com/indoorspatial/ifls/internal/vip"
+)
+
+// Solve answers an IFLS query with the paper's efficient approach
+// (Algorithms 2 and 3). Existing facilities and candidate locations are
+// indexed together on one VIP-tree and the nearest facilities of all clients
+// are found incrementally with a single bottom-up best-first traversal:
+//
+//   - clients are grouped by partition — the queue holds (partition, entity)
+//     pairs keyed by iMinD, and one Explorer per partition serves every
+//     client in it (per-client values differ only in door offsets, which
+//     realizes the paper's single-door fast path for free);
+//   - Gd, the priority of the last dequeued entry, is the global bound: every
+//     facility within Gd of a client partition has been retrieved;
+//   - clients whose nearest existing facility is within the bound are pruned
+//     (Lemma 5.1) — no further candidate retrievals or distance computations
+//     are spent on them;
+//   - once every remaining client has at least one retrieved facility
+//     (isFirst), the verified horizon d_low advances through the retrieved
+//     distances in sorted steps (increaseDist), pruning clients and checking
+//     after each step whether some candidate now covers every remaining
+//     client within d_low. The first covering candidate is the answer and
+//     d_low is the exact objective value.
+func Solve(t *vip.Tree, q *Query) Result {
+	s := newEAState(t, q)
+	return s.run()
+}
+
+// eaEntry is a traversal queue entry: a client partition paired with either
+// a tree node or a facility partition.
+type eaEntry struct {
+	part  indoor.PartitionID // client partition p
+	node  vip.NodeID
+	fac   indoor.PartitionID
+	isFac bool
+}
+
+// eaEvent is a retrieved (client, facility, distance) triple; events drive
+// the d_low stepping.
+type eaEvent struct {
+	client int
+	fac    indoor.PartitionID
+	isCand bool
+	dist   float64
+}
+
+type eaState struct {
+	t     *vip.Tree
+	q     *Query
+	venue *indoor.Venue
+	res   Result
+
+	isExist map[indoor.PartitionID]bool
+	isCand  map[indoor.PartitionID]bool
+	candIdx map[indoor.PartitionID]int
+
+	active      []bool
+	activeCount int
+	byPart      map[indoor.PartitionID][]int // C'[p]: active client indexes
+	offsets     [][]float64
+	explorers   map[indoor.PartitionID]*vip.Explorer
+	visited     map[indoor.PartitionID]map[vip.NodeID]bool
+
+	// Per-client knowledge.
+	bestExist    []float64                        // nearest retrieved existing facility
+	minRetrieved []float64                        // nearest retrieved facility of any kind
+	candDist     []map[indoor.PartitionID]float64 // retrieved candidate distances
+	activated    [][]int                          // candidate indexes activated (dist <= dlow)
+
+	// Per-candidate coverage at the current d_low.
+	covered []int // number of active clients with activated pair
+	// maxCovered upper-bounds max(covered); checkAnswer skips its scan
+	// while maxCovered < activeCount. Stale after pruning, which only
+	// costs an occasional wasted scan.
+	maxCovered int
+
+	queue  *pq.Queue[eaEntry]
+	events *pq.Queue[eaEvent]
+
+	// pruneHeap orders clients by their best retrieved existing-facility
+	// distance (lazy entries; stale ones are skipped), so prune(bound)
+	// costs O(pruned log m) instead of a full scan per bound advance.
+	pruneHeap *pq.Queue[int]
+	// satHeap orders clients by their best retrieved distance of any
+	// kind; unsatisfied counts active clients with nothing retrieved
+	// within the bound yet, making checkList O(1) amortized.
+	satHeap     *pq.Queue[int]
+	satisfied   []bool
+	unsatisfied int
+
+	gd, dlow float64
+	isFirst  bool
+
+	// Top-k mode (SolveTopK): when topK > 0 the run records every
+	// covering candidate with its exact objective instead of stopping at
+	// the first.
+	topK       int
+	ranked     []RankedCandidate
+	rankedSeen map[indoor.PartitionID]bool
+}
+
+func newEAState(t *vip.Tree, q *Query) *eaState {
+	m := len(q.Clients)
+	s := &eaState{
+		t:            t,
+		q:            q,
+		venue:        t.Venue(),
+		isExist:      make(map[indoor.PartitionID]bool, len(q.Existing)),
+		isCand:       make(map[indoor.PartitionID]bool, len(q.Candidates)),
+		candIdx:      make(map[indoor.PartitionID]int, len(q.Candidates)),
+		active:       make([]bool, m),
+		activeCount:  m,
+		byPart:       make(map[indoor.PartitionID][]int),
+		offsets:      make([][]float64, m),
+		explorers:    make(map[indoor.PartitionID]*vip.Explorer),
+		visited:      make(map[indoor.PartitionID]map[vip.NodeID]bool),
+		bestExist:    make([]float64, m),
+		minRetrieved: make([]float64, m),
+		candDist:     make([]map[indoor.PartitionID]float64, m),
+		activated:    make([][]int, m),
+		covered:      make([]int, len(q.Candidates)),
+		queue:        pq.New[eaEntry](64),
+		events:       pq.New[eaEvent](64),
+		pruneHeap:    pq.New[int](64),
+		satHeap:      pq.New[int](64),
+		satisfied:    make([]bool, m),
+		rankedSeen:   make(map[indoor.PartitionID]bool),
+	}
+	s.unsatisfied = m
+	for _, f := range q.Existing {
+		s.isExist[f] = true
+	}
+	for i, f := range q.Candidates {
+		if _, dup := s.candIdx[f]; !dup {
+			s.isCand[f] = true
+			s.candIdx[f] = i
+		}
+	}
+	for i := range q.Clients {
+		s.active[i] = true
+		s.bestExist[i] = math.Inf(1)
+		s.minRetrieved[i] = math.Inf(1)
+		s.candDist[i] = make(map[indoor.PartitionID]float64)
+	}
+	return s
+}
+
+func (s *eaState) explorer(p indoor.PartitionID) *vip.Explorer {
+	e, ok := s.explorers[p]
+	if !ok {
+		e = s.t.NewExplorer(p)
+		s.explorers[p] = e
+	}
+	return e
+}
+
+// retrieve records facility f for client ci at distance d.
+func (s *eaState) retrieve(ci int, f indoor.PartitionID, d float64) {
+	s.res.Stats.Retrievals++
+	if d < s.minRetrieved[ci] {
+		s.minRetrieved[ci] = d
+		if !s.satisfied[ci] {
+			s.satHeap.Push(ci, d)
+		}
+	}
+	if s.isExist[f] {
+		if d < s.bestExist[ci] {
+			s.bestExist[ci] = d
+			s.pruneHeap.Push(ci, d)
+		}
+		s.events.Push(eaEvent{client: ci, fac: f, dist: d}, d)
+	}
+	if s.isCand[f] {
+		if old, ok := s.candDist[ci][f]; !ok || d < old {
+			s.candDist[ci][f] = d
+		}
+		s.events.Push(eaEvent{client: ci, fac: f, isCand: true, dist: d}, d)
+	}
+}
+
+// pruneClient removes client ci from C, rolling its activations out of the
+// candidate coverage counters.
+func (s *eaState) pruneClient(ci int) {
+	if !s.active[ci] {
+		return
+	}
+	s.active[ci] = false
+	s.activeCount--
+	s.res.Stats.PrunedClients++
+	if !s.satisfied[ci] {
+		s.satisfied[ci] = true
+		s.unsatisfied--
+	}
+	for _, k := range s.activated[ci] {
+		s.covered[k]--
+	}
+	p := s.q.Clients[ci].Part
+	list := s.byPart[p]
+	for i, c := range list {
+		if c == ci {
+			list[i] = list[len(list)-1]
+			s.byPart[p] = list[:len(list)-1]
+			break
+		}
+	}
+}
+
+// prune applies Lemma 5.1 at the given bound: a client whose retrieved
+// nearest existing facility is within the bound cannot be improved by any
+// candidate, so it leaves C. The lazy heap makes the amortized cost
+// proportional to the clients actually pruned.
+func (s *eaState) prune(bound float64) {
+	for !s.pruneHeap.Empty() {
+		if _, d := s.pruneHeap.Peek(); d > bound {
+			return
+		}
+		ci, _ := s.pruneHeap.Pop()
+		s.pruneClient(ci)
+	}
+}
+
+// checkList reports whether every remaining client has retrieved at least
+// one facility within the bound.
+func (s *eaState) checkList(bound float64) bool {
+	for !s.satHeap.Empty() {
+		if _, d := s.satHeap.Peek(); d > bound {
+			break
+		}
+		ci, _ := s.satHeap.Pop()
+		if !s.satisfied[ci] {
+			s.satisfied[ci] = true
+			s.unsatisfied--
+		}
+	}
+	return s.unsatisfied == 0
+}
+
+// drainEvents activates all retrieved pairs with distance <= bound:
+// candidate coverage counters advance, and the events are consumed in
+// ascending distance order.
+func (s *eaState) drainEvents(bound float64) {
+	for !s.events.Empty() {
+		if _, d := s.events.Peek(); d > bound {
+			return
+		}
+		ev, _ := s.events.Pop()
+		s.activate(ev)
+	}
+}
+
+func (s *eaState) activate(ev eaEvent) {
+	if !ev.isCand || !s.active[ev.client] {
+		return
+	}
+	// Only the first (smallest) event per pair counts; later duplicates
+	// for the same pair are impossible because retrieval happens once per
+	// (partition, facility) dequeue.
+	k := s.candIdx[ev.fac]
+	s.covered[k]++
+	if s.covered[k] > s.maxCovered {
+		s.maxCovered = s.covered[k]
+	}
+	s.activated[ev.client] = append(s.activated[ev.client], k)
+}
+
+// checkAnswer looks for a candidate covering every remaining client within
+// the bound. Among covering candidates it returns the one whose maximum
+// distance to the remaining clients is smallest.
+func (s *eaState) checkAnswer(bound float64) (indoor.PartitionID, bool) {
+	if s.activeCount == 0 {
+		// Every client is within bound of an existing facility: no
+		// candidate strictly improves the objective.
+		return indoor.NoPartition, true
+	}
+	if s.maxCovered < s.activeCount {
+		// No candidate can cover every remaining client yet; skip the
+		// scan. maxCovered is a stale upper bound, so this only ever
+		// skips scans that would find nothing.
+		return indoor.NoPartition, false
+	}
+	best := indoor.NoPartition
+	bestMax := math.Inf(1)
+	for k, n := range s.q.Candidates {
+		if s.covered[k] != s.activeCount {
+			continue
+		}
+		maxd := 0.0
+		for ci := range s.q.Clients {
+			if !s.active[ci] {
+				continue
+			}
+			if d := s.candDist[ci][n]; d > maxd {
+				maxd = d
+			}
+		}
+		if maxd < bestMax {
+			best, bestMax = n, maxd
+		}
+	}
+	if best != indoor.NoPartition {
+		return best, true
+	}
+	return indoor.NoPartition, false
+}
+
+// step advances d_low to the next retrieved distance in (d_low, gd],
+// activating the pairs at that distance. It reports whether a step was
+// taken.
+func (s *eaState) step() bool {
+	for !s.events.Empty() {
+		if _, d := s.events.Peek(); d > s.gd {
+			return false
+		}
+		ev, d := s.events.Pop()
+		s.activate(ev)
+		if d > s.dlow {
+			s.dlow = d
+			// Consume ties at the same distance so prune/checkAnswer see
+			// a consistent horizon.
+			for !s.events.Empty() {
+				if _, nd := s.events.Peek(); nd > d {
+					break
+				}
+				ev2, _ := s.events.Pop()
+				s.activate(ev2)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+func (s *eaState) run() Result {
+	q := s.q
+	if len(q.Clients) == 0 || len(q.Candidates) == 0 {
+		return noResult()
+	}
+
+	// Algorithm 2 preamble: a client inside a facility partition retrieves
+	// it at distance zero.
+	for ci, c := range q.Clients {
+		if s.isExist[c.Part] || s.isCand[c.Part] {
+			s.retrieve(ci, c.Part, 0)
+		}
+	}
+	s.prune(0)
+	for ci, c := range q.Clients {
+		if s.active[ci] {
+			s.byPart[c.Part] = append(s.byPart[c.Part], ci)
+		}
+	}
+	for ci, c := range q.Clients {
+		if s.active[ci] {
+			s.offsets[ci] = s.explorer(c.Part).PointOffsets(c.Loc)
+		}
+	}
+	s.isFirst = s.checkList(0)
+	if s.isFirst {
+		s.drainEvents(0)
+		if r, done := s.answerCheck(); done {
+			return r
+		}
+	}
+
+	// Algorithm 3: seed the traversal queue with each populated
+	// partition's leaf node.
+	for p, clients := range s.byPart {
+		if len(clients) == 0 {
+			continue
+		}
+		leaf := s.t.Leaf(p)
+		s.markVisited(p, leaf)
+		s.queue.Push(eaEntry{part: p, node: leaf}, 0)
+	}
+
+	for !s.queue.Empty() {
+		entry, prio := s.queue.Pop()
+		s.res.Stats.QueuePops++
+		s.gd = prio
+		if len(s.byPart[entry.part]) > 0 {
+			s.process(entry)
+		}
+		// Consume all entries at the same priority before evaluating the
+		// bound, so "retrieved within Gd" includes ties at Gd.
+		for !s.queue.Empty() {
+			if _, np := s.queue.Peek(); np > prio {
+				break
+			}
+			e2, _ := s.queue.Pop()
+			s.res.Stats.QueuePops++
+			if len(s.byPart[e2.part]) > 0 {
+				s.process(e2)
+			}
+		}
+
+		if !s.isFirst {
+			s.isFirst = s.checkList(s.gd)
+		}
+		if !s.isFirst {
+			s.prune(s.gd)
+			s.drainEvents(s.gd)
+			s.dlow = s.gd
+			if s.activeCount == 0 {
+				return s.finish(indoor.NoPartition)
+			}
+			continue
+		}
+		for s.step() {
+			s.prune(s.dlow)
+			if r, done := s.answerCheck(); done {
+				return r
+			}
+		}
+	}
+
+	// Queue exhausted: everything is retrieved; finish the stepping with
+	// an unbounded horizon.
+	s.gd = math.Inf(1)
+	if !s.isFirst {
+		s.isFirst = s.checkList(s.gd)
+	}
+	for s.step() {
+		s.prune(s.dlow)
+		if r, done := s.answerCheck(); done {
+			return r
+		}
+	}
+	s.prune(math.Inf(1))
+	return s.finish(indoor.NoPartition)
+}
+
+// answerCheck evaluates the stop condition at the current d_low: in normal
+// mode the first covering candidate ends the search; in top-k mode covering
+// candidates accumulate until k are ranked.
+func (s *eaState) answerCheck() (Result, bool) {
+	if s.topK > 0 {
+		if s.collectCovering() {
+			return s.res, true
+		}
+		return Result{}, false
+	}
+	if a, ok := s.checkAnswer(s.dlow); ok {
+		return s.finish(a), true
+	}
+	return Result{}, false
+}
+
+func (s *eaState) markVisited(p indoor.PartitionID, n vip.NodeID) bool {
+	m := s.visited[p]
+	if m == nil {
+		m = make(map[vip.NodeID]bool)
+		s.visited[p] = m
+	}
+	if m[n] {
+		return false
+	}
+	m[n] = true
+	return true
+}
+
+// process expands a dequeued entry: a facility partition is retrieved for
+// the partition's remaining clients; a tree node enqueues its unvisited
+// parent and children.
+func (s *eaState) process(entry eaEntry) {
+	p := entry.part
+	if entry.isFac {
+		e := s.explorer(p)
+		for _, ci := range s.byPart[p] {
+			d := e.PointToPartition(s.offsets[ci], entry.fac)
+			s.res.Stats.DistanceCalcs++
+			s.retrieve(ci, entry.fac, d)
+		}
+		return
+	}
+	t := s.t
+	e := s.explorer(p)
+	if parent := t.Parent(entry.node); parent != vip.NoNode && s.markVisited(p, parent) {
+		s.queue.Push(eaEntry{part: p, node: parent}, e.MinToNode(parent))
+	}
+	if t.IsLeaf(entry.node) {
+		for _, f := range t.Partitions(entry.node) {
+			if f == p {
+				continue // the client's own partition was seeded upfront
+			}
+			if s.isExist[f] || s.isCand[f] {
+				s.queue.Push(eaEntry{part: p, fac: f, isFac: true}, e.MinToPartition(f))
+			}
+		}
+		return
+	}
+	for _, c := range t.Children(entry.node) {
+		if s.markVisited(p, c) {
+			s.queue.Push(eaEntry{part: p, node: c}, e.MinToNode(c))
+		}
+	}
+}
+
+// retainedBytes estimates the solver's simultaneously-held state: explorer
+// distance vectors, per-client retrieval bookkeeping, and the live queues.
+func (s *eaState) retainedBytes() int {
+	total := 0
+	for _, e := range s.explorers {
+		total += e.RetainedBytes()
+	}
+	const mapEntry = 48
+	for ci := range s.q.Clients {
+		total += len(s.candDist[ci])*mapEntry + len(s.activated[ci])*8 + len(s.offsets[ci])*8 + 64
+	}
+	for _, m := range s.visited {
+		total += len(m) * 16
+	}
+	total += s.queue.Len()*24 + s.events.Len()*32
+	total += len(s.covered) * 8
+	return total
+}
+
+func (s *eaState) finish(answer indoor.PartitionID) Result {
+	s.res.Stats.RetainedBytes = s.retainedBytes()
+	s.res.Answer = answer
+	if answer == indoor.NoPartition {
+		s.res.Found = false
+		s.res.Objective = math.NaN()
+		return s.res
+	}
+	s.res.Found = true
+	s.res.Objective = s.dlow
+	// d_low equals the chosen candidate's exact objective, except in the
+	// degenerate case where the answer was found during the preamble
+	// (every remaining client sits inside the candidate partition).
+	if s.dlow == 0 {
+		s.res.Objective = 0
+	}
+	return s.res
+}

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"math"
+
+	"github.com/indoorspatial/ifls/internal/indoor"
+	"github.com/indoorspatial/ifls/internal/pq"
+	"github.com/indoorspatial/ifls/internal/vip"
+)
+
+// ExtResult is the outcome of a MinDist or MaxSum query (Section 7
+// extensions).
+type ExtResult struct {
+	// Answer is the best candidate, NoPartition when the query has no
+	// clients or no candidates.
+	Answer indoor.PartitionID
+	// Objective is the exact objective of Answer: the total
+	// client-to-nearest-facility distance for MinDist, or the number of
+	// captured clients for MaxSum.
+	Objective float64
+	// Improves reports whether Answer strictly improves over the status
+	// quo (lower total for MinDist; at least one captured client for
+	// MaxSum).
+	Improves bool
+	// Stats summarizes solver work.
+	Stats Stats
+}
+
+// extObjective is the strategy a Section 7 variant plugs into the shared
+// bottom-up traversal: it receives retrieval, bound-advance, and prune
+// events, and decides when the answer is certain.
+type extObjective interface {
+	// retrieved reports an exact (client, candidate) distance, observed
+	// while the client was still unpruned at global bound gd.
+	retrieved(ci int, candIdx int, d, gd float64)
+	// clientPruned reports that client ci left C with exact
+	// nearest-existing distance dNN; the strategy settles the client's
+	// contribution for every candidate.
+	clientPruned(ci int, dNN float64)
+	// boundAdvanced reports a new global bound.
+	boundAdvanced(gd float64)
+	// answer returns the best candidate index and whether it is certain
+	// at bound gd.
+	answer(gd float64) (int, bool)
+}
+
+// extState runs the efficient approach's traversal (grouped clients, single
+// VIP-tree over Fe ∪ Fn, Lemma 5.1 pruning) for a pluggable objective.
+type extState struct {
+	t     *vip.Tree
+	q     *Query
+	res   *Stats
+	obj   extObjective
+	cands []indoor.PartitionID
+
+	isExist map[indoor.PartitionID]bool
+	candIdx map[indoor.PartitionID]int
+
+	active      []bool
+	activeCount int
+	byPart      map[indoor.PartitionID][]int
+	offsets     [][]float64
+	explorers   map[indoor.PartitionID]*vip.Explorer
+	visited     map[indoor.PartitionID]map[vip.NodeID]bool
+	bestExist   []float64
+
+	queue *pq.Queue[eaEntry]
+	// pruneHeap orders clients by best retrieved existing distance (lazy
+	// entries), so prune(bound) avoids a full client scan per bound
+	// advance.
+	pruneHeap *pq.Queue[int]
+	gd        float64
+}
+
+func newExtState(t *vip.Tree, q *Query, obj extObjective, stats *Stats) *extState {
+	m := len(q.Clients)
+	s := &extState{
+		t:         t,
+		q:         q,
+		res:       stats,
+		obj:       obj,
+		isExist:   make(map[indoor.PartitionID]bool, len(q.Existing)),
+		candIdx:   make(map[indoor.PartitionID]int, len(q.Candidates)),
+		active:    make([]bool, m),
+		byPart:    make(map[indoor.PartitionID][]int),
+		offsets:   make([][]float64, m),
+		explorers: make(map[indoor.PartitionID]*vip.Explorer),
+		visited:   make(map[indoor.PartitionID]map[vip.NodeID]bool),
+		bestExist: make([]float64, m),
+		queue:     pq.New[eaEntry](64),
+		pruneHeap: pq.New[int](64),
+	}
+	s.activeCount = m
+	for _, f := range q.Existing {
+		s.isExist[f] = true
+	}
+	for i, f := range q.Candidates {
+		if _, dup := s.candIdx[f]; !dup {
+			s.candIdx[f] = i
+			s.cands = append(s.cands, f)
+		}
+	}
+	for i := range q.Clients {
+		s.active[i] = true
+		s.bestExist[i] = math.Inf(1)
+	}
+	return s
+}
+
+func (s *extState) explorer(p indoor.PartitionID) *vip.Explorer {
+	e, ok := s.explorers[p]
+	if !ok {
+		e = s.t.NewExplorer(p)
+		s.explorers[p] = e
+	}
+	return e
+}
+
+func (s *extState) markVisited(p indoor.PartitionID, n vip.NodeID) bool {
+	m := s.visited[p]
+	if m == nil {
+		m = make(map[vip.NodeID]bool)
+		s.visited[p] = m
+	}
+	if m[n] {
+		return false
+	}
+	m[n] = true
+	return true
+}
+
+func (s *extState) retrieve(ci int, f indoor.PartitionID, d float64) {
+	s.res.Retrievals++
+	if s.isExist[f] && d < s.bestExist[ci] {
+		s.bestExist[ci] = d
+		s.pruneHeap.Push(ci, d)
+	}
+	if k, ok := s.candIdx[f]; ok {
+		s.obj.retrieved(ci, k, d, s.gd)
+	}
+}
+
+func (s *extState) prune(bound float64) {
+	for !s.pruneHeap.Empty() {
+		if _, d := s.pruneHeap.Peek(); d > bound {
+			return
+		}
+		ci, _ := s.pruneHeap.Pop()
+		if !s.active[ci] {
+			continue // stale entry from an earlier improvement
+		}
+		s.active[ci] = false
+		s.activeCount--
+		s.res.PrunedClients++
+		s.obj.clientPruned(ci, s.bestExist[ci])
+		p := s.q.Clients[ci].Part
+		list := s.byPart[p]
+		for i, c := range list {
+			if c == ci {
+				list[i] = list[len(list)-1]
+				s.byPart[p] = list[:len(list)-1]
+				break
+			}
+		}
+	}
+}
+
+func (s *extState) process(entry eaEntry) {
+	p := entry.part
+	if entry.isFac {
+		e := s.explorer(p)
+		for _, ci := range s.byPart[p] {
+			d := e.PointToPartition(s.offsets[ci], entry.fac)
+			s.res.DistanceCalcs++
+			s.retrieve(ci, entry.fac, d)
+		}
+		return
+	}
+	t := s.t
+	e := s.explorer(p)
+	if parent := t.Parent(entry.node); parent != vip.NoNode && s.markVisited(p, parent) {
+		s.queue.Push(eaEntry{part: p, node: parent}, e.MinToNode(parent))
+	}
+	if t.IsLeaf(entry.node) {
+		for _, f := range t.Partitions(entry.node) {
+			if f == p {
+				continue
+			}
+			if s.isExist[f] {
+				s.queue.Push(eaEntry{part: p, fac: f, isFac: true}, e.MinToPartition(f))
+			} else if _, ok := s.candIdx[f]; ok {
+				s.queue.Push(eaEntry{part: p, fac: f, isFac: true}, e.MinToPartition(f))
+			}
+		}
+		return
+	}
+	for _, c := range t.Children(entry.node) {
+		if s.markVisited(p, c) {
+			s.queue.Push(eaEntry{part: p, node: c}, e.MinToNode(c))
+		}
+	}
+}
+
+// retainedBytes estimates the traversal's simultaneously-held state.
+func (s *extState) retainedBytes() int {
+	total := 0
+	for _, e := range s.explorers {
+		total += e.RetainedBytes()
+	}
+	for _, m := range s.visited {
+		total += len(m) * 16
+	}
+	return total + s.queue.Len()*24 + len(s.bestExist)*8
+}
+
+// run drives the traversal until the objective declares an answer. It
+// returns the winning candidate index.
+func (s *extState) run() int {
+	q := s.q
+	// Preamble: clients inside facility partitions.
+	for ci, c := range q.Clients {
+		if s.isExist[c.Part] {
+			s.bestExist[ci] = 0
+			s.pruneHeap.Push(ci, 0)
+		}
+		if k, ok := s.candIdx[c.Part]; ok {
+			s.obj.retrieved(ci, k, 0, 0)
+		}
+	}
+	s.prune(0)
+	for ci, c := range q.Clients {
+		if s.active[ci] {
+			s.byPart[c.Part] = append(s.byPart[c.Part], ci)
+			s.offsets[ci] = s.explorer(c.Part).PointOffsets(c.Loc)
+		}
+	}
+	s.obj.boundAdvanced(0)
+	if k, ok := s.obj.answer(0); ok {
+		return k
+	}
+	for p, clients := range s.byPart {
+		if len(clients) == 0 {
+			continue
+		}
+		leaf := s.t.Leaf(p)
+		s.markVisited(p, leaf)
+		s.queue.Push(eaEntry{part: p, node: leaf}, 0)
+	}
+	for !s.queue.Empty() {
+		entry, prio := s.queue.Pop()
+		s.res.QueuePops++
+		s.gd = prio
+		if len(s.byPart[entry.part]) > 0 {
+			s.process(entry)
+		}
+		for !s.queue.Empty() {
+			if _, np := s.queue.Peek(); np > prio {
+				break
+			}
+			e2, _ := s.queue.Pop()
+			s.res.QueuePops++
+			if len(s.byPart[e2.part]) > 0 {
+				s.process(e2)
+			}
+		}
+		s.prune(s.gd)
+		s.obj.boundAdvanced(s.gd)
+		if k, ok := s.obj.answer(s.gd); ok {
+			return k
+		}
+	}
+	// Everything retrieved: settle all remaining clients and decide.
+	s.gd = math.Inf(1)
+	s.prune(s.gd)
+	s.obj.boundAdvanced(s.gd)
+	k, _ := s.obj.answer(s.gd)
+	return k
+}

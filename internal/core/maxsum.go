@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math"
+
+	"github.com/indoorspatial/ifls/internal/indoor"
+	"github.com/indoorspatial/ifls/internal/pq"
+	"github.com/indoorspatial/ifls/internal/vip"
+)
+
+// SolveMaxSum answers the MaxSum variant of the IFLS query (Section 7): it
+// returns the candidate that captures the most clients, where a candidate
+// captures a client when it would become the client's nearest facility
+// (strictly closer than every existing facility). The shared traversal
+// decides each (client, candidate) pair exactly:
+//
+//   - a candidate retrieved within Gd for an unpruned client captures it
+//     (the client's nearest existing facility is beyond Gd);
+//   - a pruned client's nearest existing distance is final, so retrieved
+//     pairs compare directly and unretrieved candidates (farther than Gd)
+//     cannot capture it;
+//
+// and stops when some fully-decided candidate's captured count reaches every
+// other candidate's upper bound (decided captures plus undecided pairs).
+func SolveMaxSum(t *vip.Tree, q *Query) ExtResult {
+	if len(q.Clients) == 0 || len(q.Candidates) == 0 {
+		return ExtResult{Answer: indoor.NoPartition, Objective: math.NaN()}
+	}
+	res := ExtResult{}
+	obj := newMaxSumObj(len(q.Clients))
+	s := newExtState(t, q, obj, &res.Stats)
+	obj.init(len(s.cands))
+	k := s.run()
+	res.Answer = s.cands[k]
+	res.Objective = float64(obj.captured[k])
+	res.Improves = obj.captured[k] > 0
+	retained := s.retainedBytes()
+	for ci := range obj.candDist {
+		retained += len(obj.candDist[ci])*48 + len(obj.pairDone[ci])*16
+	}
+	res.Stats.RetainedBytes = retained
+	return res
+}
+
+type maxSumObj struct {
+	m          int
+	captured   []int
+	decided    []int
+	pending    *pq.Queue[pendPair]
+	pairDone   []map[int]bool
+	candDist   []map[int]float64
+	clientDone []bool
+}
+
+func newMaxSumObj(m int) *maxSumObj {
+	o := &maxSumObj{
+		m:          m,
+		pending:    pq.New[pendPair](64),
+		pairDone:   make([]map[int]bool, m),
+		candDist:   make([]map[int]float64, m),
+		clientDone: make([]bool, m),
+	}
+	for i := 0; i < m; i++ {
+		o.pairDone[i] = make(map[int]bool)
+		o.candDist[i] = make(map[int]float64)
+	}
+	return o
+}
+
+func (o *maxSumObj) init(nc int) {
+	o.captured = make([]int, nc)
+	o.decided = make([]int, nc)
+}
+
+func (o *maxSumObj) decide(ci, k int, captures bool) {
+	o.decided[k]++
+	if captures {
+		o.captured[k]++
+	}
+	o.pairDone[ci][k] = true
+}
+
+func (o *maxSumObj) retrieved(ci, k int, d, gd float64) {
+	if old, ok := o.candDist[ci][k]; ok && old <= d {
+		return
+	}
+	o.candDist[ci][k] = d
+	o.pending.Push(pendPair{client: ci, cand: k, dist: d}, d)
+}
+
+func (o *maxSumObj) clientPruned(ci int, dNN float64) {
+	o.clientDone[ci] = true
+	nc := len(o.captured)
+	for k := 0; k < nc; k++ {
+		if o.pairDone[ci][k] {
+			continue
+		}
+		d, ok := o.candDist[ci][k]
+		o.decide(ci, k, ok && d < dNN)
+	}
+}
+
+func (o *maxSumObj) boundAdvanced(gd float64) {
+	for !o.pending.Empty() {
+		if _, d := o.pending.Peek(); d > gd {
+			return
+		}
+		p, _ := o.pending.Pop()
+		if o.clientDone[p.client] || o.pairDone[p.client][p.cand] {
+			continue
+		}
+		// Unpruned client: nearest existing facility beyond gd >= d, so
+		// the candidate strictly captures.
+		o.decide(p.client, p.cand, true)
+	}
+}
+
+func (o *maxSumObj) answer(gd float64) (int, bool) {
+	best, bestCount := -1, -1
+	for k := range o.captured {
+		if o.decided[k] == o.m && o.captured[k] > bestCount {
+			best, bestCount = k, o.captured[k]
+		}
+	}
+	if best < 0 {
+		return -1, false
+	}
+	if math.IsInf(gd, 1) {
+		return best, true
+	}
+	for k := range o.captured {
+		ub := o.captured[k] + (o.m - o.decided[k])
+		if k != best && ub > bestCount {
+			return -1, false
+		}
+	}
+	return best, true
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math"
+
+	"github.com/indoorspatial/ifls/internal/indoor"
+	"github.com/indoorspatial/ifls/internal/pq"
+	"github.com/indoorspatial/ifls/internal/vip"
+)
+
+// SolveMinDist answers the MinDist variant of the IFLS query (Section 7):
+// it returns the candidate minimizing the total distance of all clients to
+// their nearest facility in Fe ∪ {candidate}. The traversal, grouping, and
+// Lemma 5.1 client pruning are exactly those of the MinMax efficient
+// approach; only the candidate bookkeeping changes. A client's contribution
+// settles exactly when it becomes determined:
+//
+//   - a pruned client's nearest existing distance is final (everything
+//     nearer has been retrieved), so its contribution to candidate n is
+//     min(dNN, d(c,n)) when n was retrieved for it and dNN otherwise;
+//   - an unpruned client (dNN > Gd) contributes exactly d(c,n) for every
+//     candidate retrieved within Gd;
+//   - all other contributions are lower-bounded by Gd.
+//
+// The search stops when some fully-settled candidate's total is no larger
+// than every other candidate's lower bound.
+func SolveMinDist(t *vip.Tree, q *Query) ExtResult {
+	if len(q.Clients) == 0 || len(q.Candidates) == 0 {
+		return ExtResult{Answer: indoor.NoPartition, Objective: math.NaN()}
+	}
+	res := ExtResult{}
+	obj := newMinDistObj(len(q.Clients))
+	s := newExtState(t, q, obj, &res.Stats)
+	obj.init(len(s.cands))
+	k := s.run()
+	res.Answer = s.cands[k]
+	res.Objective = obj.sumExact[k]
+	res.Improves = obj.capturedAny[k]
+	retained := s.retainedBytes()
+	for ci := range obj.candDist {
+		retained += len(obj.candDist[ci])*48 + len(obj.pairSettled[ci])*16
+	}
+	res.Stats.RetainedBytes = retained
+	return res
+}
+
+type pendPair struct {
+	client int
+	cand   int
+	dist   float64
+}
+
+type minDistObj struct {
+	m            int
+	sumExact     []float64
+	settledCount []int
+	capturedAny  []bool
+	pending      *pq.Queue[pendPair]
+	// pairSettled[ci] holds candidate indexes settled for client ci before
+	// the client itself settled; clientDone[ci] marks full settlement.
+	pairSettled []map[int]bool
+	candDist    []map[int]float64
+	clientDone  []bool
+	dNN         []float64
+}
+
+func newMinDistObj(m int) *minDistObj {
+	o := &minDistObj{
+		m:           m,
+		pending:     pq.New[pendPair](64),
+		pairSettled: make([]map[int]bool, m),
+		candDist:    make([]map[int]float64, m),
+		clientDone:  make([]bool, m),
+		dNN:         make([]float64, m),
+	}
+	for i := 0; i < m; i++ {
+		o.pairSettled[i] = make(map[int]bool)
+		o.candDist[i] = make(map[int]float64)
+	}
+	return o
+}
+
+func (o *minDistObj) init(nc int) {
+	o.sumExact = make([]float64, nc)
+	o.settledCount = make([]int, nc)
+	o.capturedAny = make([]bool, nc)
+}
+
+func (o *minDistObj) settle(ci, k int, contribution float64, captured bool) {
+	o.sumExact[k] += contribution
+	o.settledCount[k]++
+	if captured {
+		o.capturedAny[k] = true
+	}
+	o.pairSettled[ci][k] = true
+}
+
+func (o *minDistObj) retrieved(ci, k int, d, gd float64) {
+	if old, ok := o.candDist[ci][k]; ok && old <= d {
+		return
+	}
+	o.candDist[ci][k] = d
+	o.pending.Push(pendPair{client: ci, cand: k, dist: d}, d)
+}
+
+func (o *minDistObj) clientPruned(ci int, dNN float64) {
+	o.dNN[ci] = dNN
+	o.clientDone[ci] = true
+	nc := len(o.sumExact)
+	for k := 0; k < nc; k++ {
+		if o.pairSettled[ci][k] {
+			continue
+		}
+		contribution, captured := dNN, false
+		if d, ok := o.candDist[ci][k]; ok && d < dNN {
+			contribution, captured = d, true
+		}
+		o.settle(ci, k, contribution, captured)
+	}
+}
+
+func (o *minDistObj) boundAdvanced(gd float64) {
+	for !o.pending.Empty() {
+		if _, d := o.pending.Peek(); d > gd {
+			return
+		}
+		p, d := o.pending.Pop()
+		if o.clientDone[p.client] || o.pairSettled[p.client][p.cand] {
+			continue
+		}
+		// The client is unpruned, so its true nearest-existing distance
+		// exceeds gd >= d: the contribution is d and the candidate
+		// strictly captures the client.
+		o.settle(p.client, p.cand, d, true)
+	}
+}
+
+func (o *minDistObj) answer(gd float64) (int, bool) {
+	best, bestTotal := -1, math.Inf(1)
+	for k := range o.sumExact {
+		if o.settledCount[k] == o.m && o.sumExact[k] < bestTotal {
+			best, bestTotal = k, o.sumExact[k]
+		}
+	}
+	if best < 0 {
+		return -1, false
+	}
+	if math.IsInf(gd, 1) {
+		return best, true
+	}
+	for k := range o.sumExact {
+		lb := o.sumExact[k] + float64(o.m-o.settledCount[k])*gd
+		if k != best && lb < bestTotal {
+			return -1, false
+		}
+	}
+	return best, true
+}

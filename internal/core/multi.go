@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math"
+
+	"github.com/indoorspatial/ifls/internal/d2d"
+	"github.com/indoorspatial/ifls/internal/indoor"
+	"github.com/indoorspatial/ifls/internal/vip"
+)
+
+// MultiResult is the outcome of selecting several new facilities at once.
+type MultiResult struct {
+	// Answers are the chosen candidates in selection order.
+	Answers []indoor.PartitionID
+	// Objective is the MinMax objective after establishing all Answers.
+	Objective float64
+	// PerStep[i] is the objective after the first i+1 selections.
+	PerStep []float64
+	Stats   Stats
+}
+
+// SolveGreedyMulti selects k candidate locations for k new facilities,
+// greedily: each round runs the efficient single-facility IFLS query, adds
+// the winner to the existing set, and repeats. Joint k-facility MinMax
+// selection generalizes k-center and is NP-hard, so a greedy chain is the
+// standard practical approach (the k-location variants the paper surveys
+// do the same); SolveBruteMulti provides the exact joint optimum for small
+// instances and tests.
+//
+// Selection stops early when no remaining candidate improves the objective;
+// Answers then holds fewer than k entries.
+func SolveGreedyMulti(t *vip.Tree, q *Query, k int) MultiResult {
+	res := MultiResult{}
+	if k <= 0 || len(q.Clients) == 0 || len(q.Candidates) == 0 {
+		res.Objective = math.NaN()
+		return res
+	}
+	existing := append([]indoor.PartitionID(nil), q.Existing...)
+	remaining := append([]indoor.PartitionID(nil), q.Candidates...)
+	for round := 0; round < k && len(remaining) > 0; round++ {
+		sub := &Query{Existing: existing, Candidates: remaining, Clients: q.Clients}
+		r := Solve(t, sub)
+		res.Stats.DistanceCalcs += r.Stats.DistanceCalcs
+		res.Stats.Retrievals += r.Stats.Retrievals
+		res.Stats.QueuePops += r.Stats.QueuePops
+		res.Stats.PrunedClients += r.Stats.PrunedClients
+		if !r.Found {
+			break
+		}
+		res.Answers = append(res.Answers, r.Answer)
+		res.PerStep = append(res.PerStep, r.Objective)
+		existing = append(existing, r.Answer)
+		kept := remaining[:0]
+		for _, c := range remaining {
+			if c != r.Answer {
+				kept = append(kept, c)
+			}
+		}
+		remaining = kept
+	}
+	if len(res.PerStep) > 0 {
+		res.Objective = res.PerStep[len(res.PerStep)-1]
+	} else {
+		res.Objective = math.NaN()
+	}
+	return res
+}
+
+// SolveBruteMulti computes the exact joint k-facility MinMax optimum by
+// enumerating every size-k candidate subset on the door-to-door graph.
+// Exponential in k; intended for tests and small instances.
+func SolveBruteMulti(g *d2d.Graph, q *Query, k int) MultiResult {
+	res := MultiResult{Objective: math.NaN()}
+	if k <= 0 || len(q.Clients) == 0 || len(q.Candidates) == 0 {
+		return res
+	}
+	distTo, nnExist := clientFacilityDistances(g, q)
+	nc := len(q.Candidates)
+	if k > nc {
+		k = nc
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	best := math.Inf(1)
+	var bestSet []int
+	for {
+		obj := 0.0
+		for ci := range q.Clients {
+			d := nnExist[ci]
+			for _, j := range idx {
+				if v := distTo[ci][len(q.Existing)+j]; v < d {
+					d = v
+				}
+			}
+			if d > obj {
+				obj = d
+			}
+		}
+		if obj < best {
+			best = obj
+			bestSet = append(bestSet[:0], idx...)
+		}
+		// Next combination.
+		i := k - 1
+		for i >= 0 && idx[i] == nc-k+i {
+			i--
+		}
+		if i < 0 {
+			break
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+	for _, j := range bestSet {
+		res.Answers = append(res.Answers, q.Candidates[j])
+	}
+	res.Objective = best
+	return res
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"github.com/indoorspatial/ifls/internal/indoor"
+	"github.com/indoorspatial/ifls/internal/vip"
+)
+
+// Session amortizes repeated IFLS queries on one venue — the paper's
+// dynamic-crowd scenario, where the best location must be recomputed as the
+// client population changes. The per-partition distance vectors computed by
+// the traversal (the vip.Explorer memos) depend only on the venue, not on
+// the clients or facilities, so a Session retains them across queries: the
+// first query warms the cache and subsequent queries skip most of the
+// matrix propagation work.
+//
+// A Session is not safe for concurrent use; use one Session per goroutine
+// (they may share the underlying tree).
+type Session struct {
+	t         *vip.Tree
+	explorers map[indoor.PartitionID]*vip.Explorer
+}
+
+// NewSession creates a Session over an index.
+func NewSession(t *vip.Tree) *Session {
+	return &Session{t: t, explorers: make(map[indoor.PartitionID]*vip.Explorer)}
+}
+
+// Solve answers a MinMax IFLS query with the efficient approach, reusing
+// the session's cached distance vectors.
+func (s *Session) Solve(q *Query) Result {
+	st := newEAState(s.t, q)
+	st.explorers = s.explorers
+	return st.run()
+}
+
+// SolveTopK is SolveTopK with the session's cache.
+func (s *Session) SolveTopK(q *Query, k int) []RankedCandidate {
+	if k <= 0 || len(q.Clients) == 0 || len(q.Candidates) == 0 {
+		return nil
+	}
+	st := newEAState(s.t, q)
+	st.explorers = s.explorers
+	st.topK = k
+	st.run()
+	return finishTopK(st, k)
+}
+
+// CachedPartitions reports how many partition explorers the session holds.
+func (s *Session) CachedPartitions() int { return len(s.explorers) }

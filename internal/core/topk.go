@@ -1,0 +1,68 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/indoorspatial/ifls/internal/indoor"
+	"github.com/indoorspatial/ifls/internal/vip"
+)
+
+// RankedCandidate is one entry of a top-k IFLS answer.
+type RankedCandidate struct {
+	Candidate indoor.PartitionID
+	// Objective is the exact MinMax objective the candidate achieves.
+	Objective float64
+}
+
+// SolveTopK returns the k candidates with the smallest MinMax objectives in
+// ascending order, following the k-optimal-location formulations of the
+// location-selection literature the paper surveys. It reuses the efficient
+// approach's traversal: a candidate's exact objective equals the first
+// d_low horizon at which it covers every remaining client, so continuing
+// the incremental search until k candidates have covered yields the top k
+// with their exact objectives, in order, still in a single pass.
+//
+// Candidates that do not improve on the status quo are not returned, so
+// the result may hold fewer than k entries.
+func SolveTopK(t *vip.Tree, q *Query, k int) []RankedCandidate {
+	if k <= 0 || len(q.Clients) == 0 || len(q.Candidates) == 0 {
+		return nil
+	}
+	s := newEAState(t, q)
+	s.topK = k
+	s.run()
+	return finishTopK(s, k)
+}
+
+func finishTopK(s *eaState, k int) []RankedCandidate {
+	sort.SliceStable(s.ranked, func(i, j int) bool { return s.ranked[i].Objective < s.ranked[j].Objective })
+	if len(s.ranked) > k {
+		// The final d_low step may add several covering candidates at
+		// once (they tie on the objective); keep the k best.
+		s.ranked = s.ranked[:k]
+	}
+	return s.ranked
+}
+
+// collectCovering records every candidate that covers the remaining
+// clients at the current d_low and was not recorded before. Pruned-client
+// contributions are below d_low by construction, so d_low is each new
+// coverer's exact objective.
+func (s *eaState) collectCovering() bool {
+	if s.activeCount == 0 {
+		// No remaining client can be improved; later candidates cannot
+		// improve the status quo either.
+		return true
+	}
+	if s.maxCovered < s.activeCount {
+		return false
+	}
+	for kIdx, n := range s.q.Candidates {
+		if s.covered[kIdx] != s.activeCount || s.rankedSeen[n] {
+			continue
+		}
+		s.rankedSeen[n] = true
+		s.ranked = append(s.ranked, RankedCandidate{Candidate: n, Objective: s.dlow})
+	}
+	return len(s.ranked) >= s.topK
+}

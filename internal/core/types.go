@@ -1,0 +1,119 @@
+// Package core implements the Indoor Facility Location Selection (IFLS)
+// query of Rayhan et al. (EDBT'23) and the algorithms the paper evaluates:
+//
+//   - Solve — the paper's efficient approach (Algorithms 2 and 3): a single
+//     bottom-up incremental nearest-facility search over one VIP-tree
+//     indexing existing facilities and candidate locations together, with
+//     client grouping by partition, a global distance bound, and client
+//     pruning per Lemma 5.1;
+//   - SolveBaseline — the modified MinMax algorithm (Algorithm 1), the
+//     road-network state of the art (Chen et al., SIGMOD'14) adapted to
+//     indoor space on VIP-tree distance primitives;
+//   - SolveBrute — an exact oracle evaluating the objective for every
+//     candidate on the door-to-door graph, used for correctness testing;
+//   - MinDist and MaxSum variants (Section 7 extensions).
+//
+// The IFLS query: given clients C, existing facilities Fe, and candidate
+// locations Fn (facilities are partitions), return
+//
+//	argmin over n in Fn of  max over c in C of  iDist(c, NN(c, Fe ∪ {n}))
+//
+// i.e. the candidate that minimizes the maximum client-to-nearest-facility
+// indoor distance.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/indoorspatial/ifls/internal/geom"
+	"github.com/indoorspatial/ifls/internal/indoor"
+)
+
+// Client is a query client: a located indoor point.
+type Client struct {
+	ID   int32
+	Loc  geom.Point
+	Part indoor.PartitionID
+}
+
+// Query is an IFLS query instance over one venue.
+type Query struct {
+	// Existing lists the existing facility partitions (Fe).
+	Existing []indoor.PartitionID
+	// Candidates lists the candidate location partitions (Fn).
+	Candidates []indoor.PartitionID
+	// Clients lists the clients (C).
+	Clients []Client
+}
+
+// Validate checks the query against a venue.
+func (q *Query) Validate(v *indoor.Venue) error {
+	n := indoor.PartitionID(v.NumPartitions())
+	for _, f := range q.Existing {
+		if f < 0 || f >= n {
+			return fmt.Errorf("core: existing facility %d out of range", f)
+		}
+	}
+	for _, f := range q.Candidates {
+		if f < 0 || f >= n {
+			return fmt.Errorf("core: candidate %d out of range", f)
+		}
+	}
+	for _, c := range q.Clients {
+		if c.Part < 0 || c.Part >= n {
+			return fmt.Errorf("core: client %d partition %d out of range", c.ID, c.Part)
+		}
+		if !v.Partition(c.Part).Rect.Contains(c.Loc) {
+			return fmt.Errorf("core: client %d at %v outside its partition %d", c.ID, c.Loc, c.Part)
+		}
+	}
+	return nil
+}
+
+// Stats counts the work a solver performed; the paper's efficiency argument
+// is about exactly these quantities.
+type Stats struct {
+	// DistanceCalcs is the number of exact client-to-facility indoor
+	// distance computations.
+	DistanceCalcs int
+	// Retrievals is the number of (client, facility) pairs materialized
+	// from the index.
+	Retrievals int
+	// QueuePops is the number of priority-queue dequeues during index
+	// traversal (efficient approach) or NN searches (baseline).
+	QueuePops int
+	// PrunedClients is the number of clients eliminated by Lemma 5.1
+	// (efficient approach only).
+	PrunedClients int
+	// ConsideredClients is the number of clients the baseline's refinement
+	// loop examined before converging (baseline only).
+	ConsideredClients int
+	// RetainedBytes estimates the peak size of the data structures the
+	// solver held simultaneously — the paper's memory-cost metric. The
+	// efficient approach keeps per-partition distance vectors and
+	// per-client retrieval lists for all clients at once; the baseline
+	// only keeps its candidate set and distance cache.
+	RetainedBytes int
+}
+
+// Result is the outcome of an IFLS query.
+type Result struct {
+	// Found reports whether some candidate strictly improves the
+	// objective over the status quo (no new facility). When false, Answer
+	// is NoPartition.
+	Found bool
+	// Answer is the chosen candidate location.
+	Answer indoor.PartitionID
+	// Objective is the achieved objective value: for MinMax, the maximum
+	// over clients of the distance to their nearest facility in
+	// Fe ∪ {Answer}. Meaningful only when Found.
+	Objective float64
+	// Stats summarizes solver work.
+	Stats Stats
+}
+
+// noResult is the canonical "no improving candidate" result.
+func noResult() Result {
+	return Result{Found: false, Answer: indoor.NoPartition, Objective: math.NaN()}
+}

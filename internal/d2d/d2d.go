@@ -1,0 +1,260 @@
+// Package d2d implements the door-to-door graph of the indoor
+// distance-aware model (Lu, Cao, Jensen — ICDE'12): vertices are doors and
+// an edge joins two doors that border a common partition, weighted by the
+// intra-partition travel distance. Dijkstra over this graph yields exact
+// indoor shortest distances.
+//
+// The package serves two roles in this repository: it is the ground-truth
+// oracle that the VIP-tree distance computations are tested against, and it
+// is the machinery that populates the VIP-tree distance matrices at index
+// construction time.
+package d2d
+
+import (
+	"math"
+
+	"github.com/indoorspatial/ifls/internal/geom"
+	"github.com/indoorspatial/ifls/internal/indoor"
+	"github.com/indoorspatial/ifls/internal/pq"
+)
+
+// Unreachable is the distance reported for door pairs with no connecting
+// path. Venues built by indoor.Builder are always connected, but the oracle
+// stays total for robustness.
+var Unreachable = math.Inf(1)
+
+type edge struct {
+	to indoor.DoorID
+	w  float64
+}
+
+// Graph is the door-to-door graph of a venue. It is immutable after New and
+// safe for concurrent use.
+type Graph struct {
+	venue *indoor.Venue
+	adj   [][]edge
+}
+
+// New builds the door graph of v.
+func New(v *indoor.Venue) *Graph {
+	g := &Graph{venue: v, adj: make([][]edge, v.NumDoors())}
+	for pi := range v.Partitions {
+		p := &v.Partitions[pi]
+		doors := p.Doors
+		for i := 0; i < len(doors); i++ {
+			for j := 0; j < len(doors); j++ {
+				if i == j {
+					continue
+				}
+				w := v.IntraDoorDist(p.ID, doors[i], doors[j])
+				g.adj[doors[i]] = append(g.adj[doors[i]], edge{to: doors[j], w: w})
+			}
+		}
+	}
+	return g
+}
+
+// Venue returns the venue the graph was built from.
+func (g *Graph) Venue() *indoor.Venue { return g.venue }
+
+// FromDoor returns the shortest indoor distance from src to every door.
+func (g *Graph) FromDoor(src indoor.DoorID) []float64 {
+	dist, _ := g.dijkstra([]indoor.DoorID{src}, []float64{0}, false)
+	return dist
+}
+
+// FromDoorWithParents additionally returns, for each door, the predecessor
+// door on a shortest path from src (-1 for src itself and unreachable doors).
+func (g *Graph) FromDoorWithParents(src indoor.DoorID) ([]float64, []indoor.DoorID) {
+	return g.dijkstra([]indoor.DoorID{src}, []float64{0}, true)
+}
+
+// FromDoors runs a multi-source Dijkstra: source door i starts with
+// distance offsets[i]. This models a point source, whose distance to each
+// door of its own partition is the in-partition offset.
+func (g *Graph) FromDoors(srcs []indoor.DoorID, offsets []float64) []float64 {
+	dist, _ := g.dijkstra(srcs, offsets, false)
+	return dist
+}
+
+func (g *Graph) dijkstra(srcs []indoor.DoorID, offsets []float64, wantParents bool) ([]float64, []indoor.DoorID) {
+	n := len(g.adj)
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	var parent []indoor.DoorID
+	if wantParents {
+		parent = make([]indoor.DoorID, n)
+		for i := range parent {
+			parent[i] = -1
+		}
+	}
+	q := pq.New[indoor.DoorID](64)
+	for i, s := range srcs {
+		if offsets[i] < dist[s] {
+			dist[s] = offsets[i]
+			q.Push(s, offsets[i])
+		}
+	}
+	for !q.Empty() {
+		d, dd := q.Pop()
+		if dd > dist[d] {
+			continue // stale entry
+		}
+		for _, e := range g.adj[d] {
+			nd := dd + e.w
+			if nd < dist[e.to] {
+				dist[e.to] = nd
+				if wantParents {
+					parent[e.to] = d
+				}
+				q.Push(e.to, nd)
+			}
+		}
+	}
+	return dist, parent
+}
+
+// DoorToDoor returns the shortest indoor distance between two doors.
+func (g *Graph) DoorToDoor(a, b indoor.DoorID) float64 {
+	if a == b {
+		return 0
+	}
+	return g.FromDoor(a)[b]
+}
+
+// Path returns the door sequence of a shortest path from a to b, inclusive
+// of both endpoints, or nil if unreachable.
+func (g *Graph) Path(a, b indoor.DoorID) []indoor.DoorID {
+	if a == b {
+		return []indoor.DoorID{a}
+	}
+	dist, parent := g.FromDoorWithParents(a)
+	if math.IsInf(dist[b], 1) {
+		return nil
+	}
+	var rev []indoor.DoorID
+	for d := b; d != -1; d = parent[d] {
+		rev = append(rev, d)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// PointRoute returns a shortest indoor route from point p in partition pp
+// to point q in partition qp: the door sequence crossed (empty when both
+// points share a partition) and the total distance.
+func (g *Graph) PointRoute(p geom.Point, pp indoor.PartitionID, q geom.Point, qp indoor.PartitionID) ([]indoor.DoorID, float64) {
+	v := g.venue
+	if pp == qp {
+		return nil, v.IntraPointDist(pp, p, q)
+	}
+	bestDist := Unreachable
+	var bestPath []indoor.DoorID
+	for _, sd := range v.Partition(pp).Doors {
+		off := v.PointDoorDist(pp, p, sd)
+		dist, parent := g.FromDoorWithParents(sd)
+		for _, td := range v.Partition(qp).Doors {
+			total := off + dist[td] + v.PointDoorDist(qp, q, td)
+			if total >= bestDist {
+				continue
+			}
+			var rev []indoor.DoorID
+			for d := td; d != -1; d = parent[d] {
+				rev = append(rev, d)
+			}
+			if len(rev) == 0 || rev[len(rev)-1] != sd {
+				continue // unreachable through this source door
+			}
+			for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+				rev[i], rev[j] = rev[j], rev[i]
+			}
+			bestDist, bestPath = total, rev
+		}
+	}
+	return bestPath, bestDist
+}
+
+// PointToPoint returns the exact indoor distance between point p located in
+// partition pp and point q located in partition qp. This is the ground
+// truth every index is tested against.
+func (g *Graph) PointToPoint(p geom.Point, pp indoor.PartitionID, q geom.Point, qp indoor.PartitionID) float64 {
+	v := g.venue
+	if pp == qp {
+		return v.IntraPointDist(pp, p, q)
+	}
+	srcDoors := v.Partition(pp).Doors
+	offsets := make([]float64, len(srcDoors))
+	for i, d := range srcDoors {
+		offsets[i] = v.PointDoorDist(pp, p, d)
+	}
+	dist := g.FromDoors(srcDoors, offsets)
+	best := Unreachable
+	for _, d := range v.Partition(qp).Doors {
+		if t := dist[d] + v.PointDoorDist(qp, q, d); t < best {
+			best = t
+		}
+	}
+	return best
+}
+
+// PointToPartition returns the exact indoor distance from point p in
+// partition pp to partition target: the shortest distance to any point of
+// the target, which is reached at one of its doors (distance from a
+// partition to its own doors is zero, per the paper's iMinD convention).
+func (g *Graph) PointToPartition(p geom.Point, pp indoor.PartitionID, target indoor.PartitionID) float64 {
+	if pp == target {
+		return 0
+	}
+	v := g.venue
+	srcDoors := v.Partition(pp).Doors
+	offsets := make([]float64, len(srcDoors))
+	for i, d := range srcDoors {
+		offsets[i] = v.PointDoorDist(pp, p, d)
+	}
+	dist := g.FromDoors(srcDoors, offsets)
+	best := Unreachable
+	for _, d := range v.Partition(target).Doors {
+		if dist[d] < best {
+			best = dist[d]
+		}
+	}
+	return best
+}
+
+// PartitionToPartition returns the shortest indoor distance between two
+// partitions (zero if they share a door or are the same).
+func (g *Graph) PartitionToPartition(a, b indoor.PartitionID) float64 {
+	if a == b {
+		return 0
+	}
+	v := g.venue
+	srcDoors := v.Partition(a).Doors
+	offsets := make([]float64, len(srcDoors)) // all zero: partition to own door costs 0
+	dist := g.FromDoors(srcDoors, offsets)
+	best := Unreachable
+	for _, d := range v.Partition(b).Doors {
+		if dist[d] < best {
+			best = dist[d]
+		}
+	}
+	return best
+}
+
+// AllPairs computes the full door-to-door distance matrix. Intended for
+// small venues (tests); construction-time callers use per-door FromDoor to
+// bound memory.
+func (g *Graph) AllPairs() [][]float64 {
+	n := len(g.adj)
+	m := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		m[i] = g.FromDoor(indoor.DoorID(i))
+	}
+	return m
+}
+
+// Degree returns the number of outgoing edges of door d (diagnostics).
+func (g *Graph) Degree(d indoor.DoorID) int { return len(g.adj[d]) }

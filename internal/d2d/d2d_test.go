@@ -1,0 +1,244 @@
+package d2d
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/indoorspatial/ifls/internal/geom"
+	"github.com/indoorspatial/ifls/internal/indoor"
+	"github.com/indoorspatial/ifls/internal/testvenue"
+)
+
+func almostEq(a, b float64) bool { return a == b || math.Abs(a-b) < 1e-9 }
+
+func TestTwoRoomsDistances(t *testing.T) {
+	v := testvenue.TwoRooms()
+	g := New(v)
+	// One door; distance to itself is 0.
+	if got := g.DoorToDoor(0, 0); got != 0 {
+		t.Errorf("DoorToDoor(0,0) = %v", got)
+	}
+	// Point in A to point in B must route through the door at (10,5).
+	p := geom.Pt(2, 5, 0)  // in A
+	q := geom.Pt(18, 5, 0) // in B
+	want := 8.0 + 8.0
+	if got := g.PointToPoint(p, 0, q, 1); !almostEq(got, want) {
+		t.Errorf("PointToPoint = %v, want %v", got, want)
+	}
+	// Same partition: Euclidean.
+	if got := g.PointToPoint(p, 0, geom.Pt(2, 9, 0), 0); !almostEq(got, 4) {
+		t.Errorf("same-partition distance = %v, want 4", got)
+	}
+}
+
+func TestCorridor3Distances(t *testing.T) {
+	v := testvenue.Corridor3()
+	g := New(v)
+	// Doors at (5,5), (15,5), (25,5), all on the corridor.
+	if got := g.DoorToDoor(0, 2); !almostEq(got, 20) {
+		t.Errorf("door0->door2 = %v, want 20", got)
+	}
+	// Center of R0 to center of R2: (5,10) -> door0 -> door2 -> (25,10).
+	p, q := geom.Pt(5, 10, 0), geom.Pt(25, 10, 0)
+	want := 5 + 20 + 5.0
+	if got := g.PointToPoint(p, 1, q, 3); !almostEq(got, want) {
+		t.Errorf("R0->R2 = %v, want %v", got, want)
+	}
+	// Room to adjacent partition distance (to corridor itself): distance to
+	// the room's own door.
+	if got := g.PointToPartition(p, 1, 0); !almostEq(got, 5) {
+		t.Errorf("PointToPartition = %v, want 5", got)
+	}
+}
+
+func TestMultiDoorChoosesBestDoor(t *testing.T) {
+	v := testvenue.MultiDoorRooms()
+	g := New(v)
+	// R0 and R1 share an inner door at (10,10); both also reach the
+	// corridor. A point near the inner door should use it.
+	p := geom.Pt(9, 10, 0)  // in R0, 1m from inner door
+	q := geom.Pt(11, 10, 0) // in R1, 1m from inner door
+	if got := g.PointToPoint(p, 1, q, 2); !almostEq(got, 2) {
+		t.Errorf("via inner door = %v, want 2", got)
+	}
+	// A point near R0's corridor door with target near R1's corridor door
+	// should go through the corridor: (2,6)->d0(2,5)=1, d0->d1 = 16,
+	// d1(18,5)->(18,6)=1 => 18. Via the inner door it would be
+	// (2,6)->(10,10) = sqrt(64+16)=8.94 + (10,10)->(18,6)=8.94 => 17.89.
+	p2 := geom.Pt(2, 6, 0)
+	q2 := geom.Pt(18, 6, 0)
+	viaInner := p2.Dist(geom.Pt(10, 10, 0)) + geom.Pt(10, 10, 0).Dist(q2)
+	if got := g.PointToPoint(p2, 1, q2, 2); !almostEq(got, viaInner) {
+		t.Errorf("best path = %v, want %v (inner door route)", got, viaInner)
+	}
+}
+
+func TestStairCost(t *testing.T) {
+	v := testvenue.Grid(testvenue.GridParams{Cols: 2, Levels: 2, StairLength: 12})
+	g := New(v)
+	// Find two clients directly below/above each other on different levels.
+	// Room S0-L0 center and S0-L1 center: path must use the stair.
+	s0L0 := findPartition(t, v, "S0-L0")
+	s0L1 := findPartition(t, v, "S0-L1")
+	p := v.Partition(s0L0).Rect.Center()
+	q := v.Partition(s0L1).Rect.Center()
+	got := g.PointToPoint(p, s0L0, q, s0L1)
+	// Path: center -> room door -> corridor -> stair door L0 -> stair(12)
+	// -> corridor L1 -> room door -> center. By symmetry the horizontal
+	// parts are equal on both levels.
+	gp := New(v)
+	oneLevel := gp.PointToPoint(p, s0L0, geom.Pt(20, 10, 0), v.PartitionAt(geom.Pt(20, 10, 0)))
+	if got <= 12 {
+		t.Errorf("cross-level distance %v must exceed stair length 12", got)
+	}
+	if got < oneLevel {
+		t.Errorf("cross-level distance %v < same-level distance to stair door %v", got, oneLevel)
+	}
+	// Exact: horizontal to stair door is identical on both levels, plus 12.
+	want := 2*oneLevel + 12
+	if !almostEq(got, want) {
+		t.Errorf("cross-level = %v, want %v", got, want)
+	}
+}
+
+func findPartition(t *testing.T, v *indoor.Venue, name string) indoor.PartitionID {
+	t.Helper()
+	for i := range v.Partitions {
+		if v.Partitions[i].Name == name {
+			return indoor.PartitionID(i)
+		}
+	}
+	t.Fatalf("partition %q not found", name)
+	return indoor.NoPartition
+}
+
+func TestPathReconstruction(t *testing.T) {
+	v := testvenue.Corridor3()
+	g := New(v)
+	path := g.Path(0, 2)
+	if len(path) != 2 || path[0] != 0 || path[len(path)-1] != 2 {
+		t.Errorf("Path(0,2) = %v", path)
+	}
+	if p := g.Path(1, 1); len(p) != 1 || p[0] != 1 {
+		t.Errorf("Path to self = %v", p)
+	}
+	// Path length must equal reported distance.
+	var total float64
+	for i := 0; i+1 < len(path); i++ {
+		// Both doors border the corridor (partition 0).
+		total += v.IntraDoorDist(0, path[i], path[i+1])
+	}
+	if !almostEq(total, g.DoorToDoor(0, 2)) {
+		t.Errorf("path length %v != distance %v", total, g.DoorToDoor(0, 2))
+	}
+}
+
+func TestDistanceMetricProperties(t *testing.T) {
+	v := testvenue.Default()
+	g := New(v)
+	m := g.AllPairs()
+	n := v.NumDoors()
+	// Symmetry, identity, triangle inequality over all door triples.
+	for i := 0; i < n; i++ {
+		if m[i][i] != 0 {
+			t.Fatalf("m[%d][%d] = %v, want 0", i, i, m[i][i])
+		}
+		for j := 0; j < n; j++ {
+			if !almostEq(m[i][j], m[j][i]) {
+				t.Fatalf("asymmetric: m[%d][%d]=%v m[%d][%d]=%v", i, j, m[i][j], j, i, m[j][i])
+			}
+			if math.IsInf(m[i][j], 1) {
+				t.Fatalf("unreachable pair (%d,%d) in connected venue", i, j)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				if m[i][k] > m[i][j]+m[j][k]+1e-9 {
+					t.Fatalf("triangle violation: d(%d,%d)=%v > d(%d,%d)+d(%d,%d)=%v",
+						i, k, m[i][k], i, j, j, k, m[i][j]+m[j][k])
+				}
+			}
+		}
+	}
+}
+
+func TestPointToPointSymmetric(t *testing.T) {
+	v := testvenue.Default()
+	g := New(v)
+	rng := rand.New(rand.NewSource(42))
+	rooms := v.Rooms()
+	for trial := 0; trial < 50; trial++ {
+		pp := rooms[rng.Intn(len(rooms))]
+		qp := rooms[rng.Intn(len(rooms))]
+		p := v.RandomPointIn(pp, rng.Float64(), rng.Float64())
+		q := v.RandomPointIn(qp, rng.Float64(), rng.Float64())
+		d1 := g.PointToPoint(p, pp, q, qp)
+		d2 := g.PointToPoint(q, qp, p, pp)
+		if !almostEq(d1, d2) {
+			t.Fatalf("asymmetric point distance: %v vs %v (p=%v q=%v)", d1, d2, p, q)
+		}
+		if d1 < 0 {
+			t.Fatalf("negative distance %v", d1)
+		}
+	}
+}
+
+func TestPointToPointLowerBoundedByIntraDist(t *testing.T) {
+	// Indoor distance can never beat unconstrained straight-line distance
+	// on the same level.
+	v := testvenue.Grid(testvenue.GridParams{Cols: 5, Levels: 1, InterRoomDoors: true})
+	g := New(v)
+	rng := rand.New(rand.NewSource(7))
+	rooms := v.Rooms()
+	for trial := 0; trial < 100; trial++ {
+		pp := rooms[rng.Intn(len(rooms))]
+		qp := rooms[rng.Intn(len(rooms))]
+		p := v.RandomPointIn(pp, rng.Float64(), rng.Float64())
+		q := v.RandomPointIn(qp, rng.Float64(), rng.Float64())
+		d := g.PointToPoint(p, pp, q, qp)
+		if d < p.Dist(q)-1e-9 {
+			t.Fatalf("indoor distance %v below Euclidean %v", d, p.Dist(q))
+		}
+	}
+}
+
+func TestPartitionToPartition(t *testing.T) {
+	v := testvenue.Corridor3()
+	g := New(v)
+	if got := g.PartitionToPartition(1, 1); got != 0 {
+		t.Errorf("self = %v", got)
+	}
+	// R0 and corridor share a door: distance 0.
+	if got := g.PartitionToPartition(1, 0); got != 0 {
+		t.Errorf("adjacent = %v, want 0", got)
+	}
+	// R0 to R2: door0 (5,5) to door2 (25,5) through corridor = 20.
+	if got := g.PartitionToPartition(1, 3); !almostEq(got, 20) {
+		t.Errorf("R0->R2 = %v, want 20", got)
+	}
+}
+
+func TestDegree(t *testing.T) {
+	v := testvenue.Corridor3()
+	g := New(v)
+	// Every door borders the corridor with its 3 doors: degree 2 within the
+	// corridor; room-side has a single door, adding nothing.
+	for d := 0; d < v.NumDoors(); d++ {
+		if got := g.Degree(indoor.DoorID(d)); got != 2 {
+			t.Errorf("Degree(%d) = %d, want 2", d, got)
+		}
+	}
+}
+
+func BenchmarkDijkstraGrid(b *testing.B) {
+	v := testvenue.Grid(testvenue.GridParams{Cols: 50, Levels: 4, InterRoomDoors: true})
+	g := New(v)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.FromDoor(indoor.DoorID(i % v.NumDoors()))
+	}
+}

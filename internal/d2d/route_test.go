@@ -1,0 +1,91 @@
+package d2d
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/indoorspatial/ifls/internal/geom"
+	"github.com/indoorspatial/ifls/internal/indoor"
+	"github.com/indoorspatial/ifls/internal/testvenue"
+)
+
+func TestPointRouteSamePartition(t *testing.T) {
+	v := testvenue.TwoRooms()
+	g := New(v)
+	doors, dist := g.PointRoute(geom.Pt(1, 1, 0), 0, geom.Pt(4, 5, 0), 0)
+	if len(doors) != 0 {
+		t.Fatalf("same-partition route crossed doors: %v", doors)
+	}
+	if !almostEq(dist, 5) {
+		t.Fatalf("dist = %v, want 5", dist)
+	}
+}
+
+func TestPointRouteCrossPartition(t *testing.T) {
+	v := testvenue.Corridor3()
+	g := New(v)
+	// R0 center to R2 center: door0 -> door2.
+	p, q := geom.Pt(5, 10, 0), geom.Pt(25, 10, 0)
+	doors, dist := g.PointRoute(p, 1, q, 3)
+	if len(doors) != 2 || doors[0] != 0 || doors[1] != 2 {
+		t.Fatalf("route = %v, want [0 2]", doors)
+	}
+	if !almostEq(dist, 30) {
+		t.Fatalf("dist = %v, want 30", dist)
+	}
+}
+
+// TestPointRouteDistanceMatchesOracle: the route's distance must equal
+// PointToPoint, and walking the door sequence must reproduce it.
+func TestPointRouteDistanceMatchesOracle(t *testing.T) {
+	v := testvenue.Grid(testvenue.GridParams{Cols: 5, Levels: 3, InterRoomDoors: true})
+	g := New(v)
+	rng := rand.New(rand.NewSource(31))
+	rooms := v.Rooms()
+	for trial := 0; trial < 60; trial++ {
+		pp := rooms[rng.Intn(len(rooms))]
+		qp := rooms[rng.Intn(len(rooms))]
+		p := v.RandomPointIn(pp, rng.Float64(), rng.Float64())
+		q := v.RandomPointIn(qp, rng.Float64(), rng.Float64())
+		doors, dist := g.PointRoute(p, pp, q, qp)
+		want := g.PointToPoint(p, pp, q, qp)
+		if !almostEq(dist, want) {
+			t.Fatalf("route dist %v != PointToPoint %v", dist, want)
+		}
+		if pp == qp {
+			continue
+		}
+		// Walk the route: p -> doors... -> q, accumulating leg lengths.
+		walked := v.PointDoorDist(pp, p, doors[0])
+		for i := 0; i+1 < len(doors); i++ {
+			// Find the partition both doors share.
+			shared := sharedPartition(v, doors[i], doors[i+1])
+			if shared == indoor.NoPartition {
+				t.Fatalf("consecutive route doors %d,%d share no partition", doors[i], doors[i+1])
+			}
+			walked += v.IntraDoorDist(shared, doors[i], doors[i+1])
+		}
+		walked += v.PointDoorDist(qp, q, doors[len(doors)-1])
+		if !almostEq(walked, dist) {
+			t.Fatalf("walking the route gives %v, reported %v", walked, dist)
+		}
+	}
+}
+
+func sharedPartition(v *indoor.Venue, a, b indoor.DoorID) indoor.PartitionID {
+	da, db := v.Door(a), v.Door(b)
+	best := indoor.NoPartition
+	for _, p := range []indoor.PartitionID{da.A, da.B} {
+		if p != indoor.NoPartition && db.Borders(p) {
+			// Prefer the partition that minimizes the leg, matching
+			// Dijkstra's edge choice; with rectangular free-space
+			// partitions any shared partition gives the same Euclidean
+			// leg unless a stair is involved, in which case both share
+			// only the stair.
+			if best == indoor.NoPartition || v.IntraDoorDist(p, a, b) < v.IntraDoorDist(best, a, b) {
+				best = p
+			}
+		}
+	}
+	return best
+}

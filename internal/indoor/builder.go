@@ -1,0 +1,206 @@
+package indoor
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/indoorspatial/ifls/internal/geom"
+)
+
+// Builder assembles a Venue incrementally and validates it on Build. The
+// zero value is not usable; call NewBuilder.
+type Builder struct {
+	venue Venue
+	errs  []error
+}
+
+// NewBuilder returns a Builder for a venue with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{venue: Venue{Name: name}}
+}
+
+// AddRoom adds a room partition and returns its ID.
+func (b *Builder) AddRoom(rect geom.Rect, name, category string) PartitionID {
+	return b.addPartition(Partition{Rect: rect, Kind: Room, Name: name, Category: category})
+}
+
+// AddCorridor adds a corridor partition and returns its ID.
+func (b *Builder) AddCorridor(rect geom.Rect, name string) PartitionID {
+	return b.addPartition(Partition{Rect: rect, Kind: Corridor, Name: name})
+}
+
+// AddStair adds a stairwell partition whose doors may lie on different
+// levels. length is the traversal cost between its cross-level doors.
+func (b *Builder) AddStair(rect geom.Rect, name string, length float64) PartitionID {
+	if length <= 0 {
+		b.errs = append(b.errs, fmt.Errorf("stair %q: non-positive length %v", name, length))
+	}
+	return b.addPartition(Partition{Rect: rect, Kind: Stair, Name: name, StairLength: length})
+}
+
+func (b *Builder) addPartition(p Partition) PartitionID {
+	p.ID = PartitionID(len(b.venue.Partitions))
+	if p.Rect.Width() <= 0 || p.Rect.Height() <= 0 {
+		b.errs = append(b.errs, fmt.Errorf("partition %d (%q): degenerate rect %v", p.ID, p.Name, p.Rect))
+	}
+	b.venue.Partitions = append(b.venue.Partitions, p)
+	return p.ID
+}
+
+// AddDoor adds a door at loc joining partitions pa and pb (pb may be
+// NoPartition for an entrance). It returns the door's ID.
+func (b *Builder) AddDoor(loc geom.Point, pa, pb PartitionID) DoorID {
+	id := DoorID(len(b.venue.Doors))
+	if pa == NoPartition {
+		pa, pb = pb, pa // normalize: A is always a real partition
+	}
+	if pa == NoPartition {
+		b.errs = append(b.errs, fmt.Errorf("door %d: joins no partition", id))
+	}
+	if pa == pb {
+		b.errs = append(b.errs, fmt.Errorf("door %d: joins partition %d to itself", id, pa))
+	}
+	b.venue.Doors = append(b.venue.Doors, Door{ID: id, Loc: loc, A: pa, B: pb})
+	for _, pid := range []PartitionID{pa, pb} {
+		if pid != NoPartition {
+			if int(pid) >= len(b.venue.Partitions) || pid < 0 {
+				b.errs = append(b.errs, fmt.Errorf("door %d: unknown partition %d", id, pid))
+				continue
+			}
+			p := &b.venue.Partitions[pid]
+			p.Doors = append(p.Doors, id)
+		}
+	}
+	return id
+}
+
+// Build validates the venue and returns it. A venue is valid when every
+// partition has at least one door, every non-stair door lies on (or within
+// eps of) the boundary of each partition it borders, stairs join exactly the
+// levels they claim, and the whole venue is door-connected.
+func (b *Builder) Build() (*Venue, error) {
+	v := &b.venue
+	if len(v.Partitions) == 0 {
+		b.errs = append(b.errs, fmt.Errorf("venue %q has no partitions", v.Name))
+	}
+	maxLevel := 0
+	for i := range v.Partitions {
+		p := &v.Partitions[i]
+		if p.Level() > maxLevel {
+			maxLevel = p.Level()
+		}
+		if len(p.Doors) == 0 {
+			b.errs = append(b.errs, fmt.Errorf("partition %d (%q) has no doors", p.ID, p.Name))
+		}
+	}
+	v.Levels = maxLevel + 1
+	const eps = 1e-6
+	for i := range v.Doors {
+		d := &v.Doors[i]
+		for _, pid := range []PartitionID{d.A, d.B} {
+			if pid == NoPartition || int(pid) >= len(v.Partitions) {
+				continue
+			}
+			p := &v.Partitions[pid]
+			if p.Kind == Stair {
+				// Stair doors sit at the stair's footprint on their own
+				// level; only the planar position is checked.
+				planar := geom.R(p.Rect.Min.X, p.Rect.Min.Y, p.Rect.Max.X, p.Rect.Max.Y, d.Loc.Level)
+				if !planar.OnBoundary(d.Loc, eps) && !planar.Contains(d.Loc) {
+					b.errs = append(b.errs, fmt.Errorf("door %d at %v not on stair %d footprint %v", d.ID, d.Loc, pid, p.Rect))
+				}
+				continue
+			}
+			if !p.Rect.OnBoundary(d.Loc, eps) {
+				b.errs = append(b.errs, fmt.Errorf("door %d at %v not on boundary of partition %d %v", d.ID, d.Loc, pid, p.Rect))
+			}
+		}
+	}
+	if err := checkConnected(v); err != nil {
+		b.errs = append(b.errs, err)
+	}
+	if len(b.errs) > 0 {
+		// Report the first few errors; a malformed generator typically
+		// produces thousands of identical ones.
+		const maxReport = 5
+		n := len(b.errs)
+		if n > maxReport {
+			return nil, fmt.Errorf("venue %q invalid (%d errors; first %d): %v", v.Name, n, maxReport, b.errs[:maxReport])
+		}
+		return nil, fmt.Errorf("venue %q invalid: %v", v.Name, b.errs)
+	}
+	return v, nil
+}
+
+// MustBuild is Build that panics on error, for tests and generators whose
+// output is known valid by construction.
+func (b *Builder) MustBuild() *Venue {
+	v, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// checkConnected verifies every partition is reachable from partition 0
+// through doors.
+func checkConnected(v *Venue) error {
+	if len(v.Partitions) == 0 {
+		return nil
+	}
+	seen := make([]bool, len(v.Partitions))
+	stack := []PartitionID{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		pid := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, did := range v.Partitions[pid].Doors {
+			o := v.Doors[did].Other(pid)
+			if o != NoPartition && !seen[o] {
+				seen[o] = true
+				count++
+				stack = append(stack, o)
+			}
+		}
+	}
+	if count != len(v.Partitions) {
+		var missing []PartitionID
+		for i, s := range seen {
+			if !s {
+				missing = append(missing, PartitionID(i))
+				if len(missing) >= 5 {
+					break
+				}
+			}
+		}
+		return fmt.Errorf("venue not connected: %d of %d partitions reachable (e.g. unreachable: %v)", count, len(v.Partitions), missing)
+	}
+	return nil
+}
+
+// RandomPointIn returns a point inside partition pid, using u, w in [0, 1)
+// as relative coordinates. Points are kept off the exact boundary so that
+// point-in-partition lookups are unambiguous.
+func (v *Venue) RandomPointIn(pid PartitionID, u, w float64) geom.Point {
+	r := v.Partition(pid).Rect
+	const margin = 0.02 // 2% inset from each wall
+	u = margin + u*(1-2*margin)
+	w = margin + w*(1-2*margin)
+	return geom.Pt(r.Min.X+u*r.Width(), r.Min.Y+w*r.Height(), r.Level())
+}
+
+// BoundingBox returns the planar bounding box across all levels (level 0 in
+// the returned rect).
+func (v *Venue) BoundingBox() geom.Rect {
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for i := range v.Partitions {
+		r := v.Partitions[i].Rect
+		minX = math.Min(minX, r.Min.X)
+		minY = math.Min(minY, r.Min.Y)
+		maxX = math.Max(maxX, r.Max.X)
+		maxY = math.Max(maxY, r.Max.Y)
+	}
+	return geom.R(minX, minY, maxX, maxY, 0)
+}

@@ -1,0 +1,59 @@
+package indoor
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/indoorspatial/ifls/internal/geom"
+)
+
+// FuzzReadJSON: arbitrary input must never panic the venue decoder — it
+// either yields a valid venue or an error.
+func FuzzReadJSON(f *testing.F) {
+	// Seed with a valid venue and near-miss corruptions.
+	b := NewBuilder("seed")
+	a := b.AddRoom(geom.R(0, 0, 10, 10, 0), "A", "cat")
+	c := b.AddRoom(geom.R(10, 0, 20, 10, 0), "B", "")
+	b.AddDoor(geom.Pt(10, 5, 0), a, c)
+	v, err := b.Build()
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := v.WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.String()
+	f.Add(valid)
+	f.Add(strings.Replace(valid, `"room"`, `"spaceship"`, 1))
+	f.Add(strings.Replace(valid, `"a": 0`, `"a": 99`, 1))
+	f.Add(`{"name":"x","partitions":[],"doors":[]}`)
+	f.Add(`{`)
+	f.Add(``)
+	f.Add(`{"name":"x","partitions":[{"rect":[0,0,-1,-1],"level":0,"kind":"room"}],"doors":[]}`)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		v, err := ReadJSON(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Decoded venues must satisfy the same invariants Build enforces.
+		if v.NumPartitions() == 0 {
+			t.Fatal("decoder returned an empty venue without error")
+		}
+		for i := range v.Partitions {
+			if len(v.Partitions[i].Doors) == 0 {
+				t.Fatalf("partition %d decoded without doors", i)
+			}
+		}
+		// Round trip must be stable.
+		var buf bytes.Buffer
+		if err := v.WriteJSON(&buf); err != nil {
+			t.Fatalf("re-encoding decoded venue: %v", err)
+		}
+		if _, err := ReadJSON(&buf); err != nil {
+			t.Fatalf("re-decoding encoded venue: %v", err)
+		}
+	})
+}

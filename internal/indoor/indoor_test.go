@@ -1,0 +1,274 @@
+package indoor
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/indoorspatial/ifls/internal/geom"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// twoRooms builds two 10x10 rooms sharing a door at (10,5). Duplicated from
+// testvenue to avoid an import cycle (testvenue imports indoor).
+func twoRooms(t *testing.T) *Venue {
+	t.Helper()
+	b := NewBuilder("two-rooms")
+	a := b.AddRoom(geom.R(0, 0, 10, 10, 0), "A", "")
+	bb := b.AddRoom(geom.R(10, 0, 20, 10, 0), "B", "")
+	b.AddDoor(geom.Pt(10, 5, 0), a, bb)
+	v, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return v
+}
+
+func TestBuilderBasicVenue(t *testing.T) {
+	v := twoRooms(t)
+	if v.NumPartitions() != 2 || v.NumDoors() != 1 {
+		t.Fatalf("got %d partitions, %d doors", v.NumPartitions(), v.NumDoors())
+	}
+	if v.Levels != 1 {
+		t.Errorf("Levels = %d, want 1", v.Levels)
+	}
+	if got := v.Partition(0).Name; got != "A" {
+		t.Errorf("partition 0 name = %q", got)
+	}
+	d := v.Door(0)
+	if !d.Borders(0) || !d.Borders(1) || d.Borders(2) {
+		t.Error("door borders wrong partitions")
+	}
+	if d.Other(0) != 1 || d.Other(1) != 0 || d.Other(99) != NoPartition {
+		t.Error("Door.Other wrong")
+	}
+}
+
+func TestBuilderRejectsDoorOffBoundary(t *testing.T) {
+	b := NewBuilder("bad")
+	a := b.AddRoom(geom.R(0, 0, 10, 10, 0), "A", "")
+	c := b.AddRoom(geom.R(10, 0, 20, 10, 0), "B", "")
+	b.AddDoor(geom.Pt(5, 5, 0), a, c) // interior of A, not on boundary
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected error for door off boundary")
+	}
+}
+
+func TestBuilderRejectsDisconnected(t *testing.T) {
+	b := NewBuilder("split")
+	a := b.AddRoom(geom.R(0, 0, 10, 10, 0), "A", "")
+	c := b.AddRoom(geom.R(20, 0, 30, 10, 0), "C", "")
+	// Each room gets an exterior door, so the "no doors" check passes,
+	// but the rooms are not mutually reachable.
+	b.AddDoor(geom.Pt(0, 5, 0), a, NoPartition)
+	b.AddDoor(geom.Pt(20, 5, 0), c, NoPartition)
+	_, err := b.Build()
+	if err == nil || !strings.Contains(err.Error(), "not connected") {
+		t.Fatalf("expected connectivity error, got %v", err)
+	}
+}
+
+func TestBuilderRejectsPartitionWithoutDoors(t *testing.T) {
+	b := NewBuilder("doorless")
+	b.AddRoom(geom.R(0, 0, 10, 10, 0), "A", "")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected error for doorless partition")
+	}
+}
+
+func TestBuilderRejectsSelfDoor(t *testing.T) {
+	b := NewBuilder("self")
+	a := b.AddRoom(geom.R(0, 0, 10, 10, 0), "A", "")
+	b.AddDoor(geom.Pt(0, 5, 0), a, a)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected error for self-door")
+	}
+}
+
+func TestBuilderRejectsDegenerateRect(t *testing.T) {
+	b := NewBuilder("degenerate")
+	a := b.AddRoom(geom.R(0, 0, 0, 10, 0), "A", "")
+	b.AddDoor(geom.Pt(0, 5, 0), a, NoPartition)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected error for zero-width partition")
+	}
+}
+
+func TestBuilderNormalizesExteriorDoor(t *testing.T) {
+	b := NewBuilder("entrance")
+	a := b.AddRoom(geom.R(0, 0, 10, 10, 0), "A", "")
+	b.AddDoor(geom.Pt(0, 5, 0), NoPartition, a) // exterior side passed first
+	v, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if v.Door(0).A != a || v.Door(0).B != NoPartition {
+		t.Errorf("exterior door not normalized: %+v", v.Door(0))
+	}
+}
+
+func TestIntraDoorDist(t *testing.T) {
+	b := NewBuilder("tri")
+	c := b.AddCorridor(geom.R(0, 0, 30, 5, 0), "corr")
+	r0 := b.AddRoom(geom.R(0, 5, 10, 15, 0), "R0", "")
+	r1 := b.AddRoom(geom.R(20, 5, 30, 15, 0), "R1", "")
+	// Keep the venue connected: bridge room between r0 and r1.
+	r2 := b.AddRoom(geom.R(10, 5, 20, 15, 0), "R2", "")
+	d0 := b.AddDoor(geom.Pt(5, 5, 0), r0, c)
+	d1 := b.AddDoor(geom.Pt(25, 5, 0), r1, c)
+	b.AddDoor(geom.Pt(10, 10, 0), r0, r2)
+	b.AddDoor(geom.Pt(20, 10, 0), r2, r1)
+	v, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if got := v.IntraDoorDist(c, d0, d1); !almostEq(got, 20) {
+		t.Errorf("IntraDoorDist(corr, d0, d1) = %v, want 20", got)
+	}
+	if got := v.IntraDoorDist(c, d0, d0); got != 0 {
+		t.Errorf("IntraDoorDist same door = %v, want 0", got)
+	}
+}
+
+func TestStairDistances(t *testing.T) {
+	b := NewBuilder("stair")
+	c0 := b.AddCorridor(geom.R(0, 0, 20, 4, 0), "corr-0")
+	c1 := b.AddCorridor(geom.R(0, 0, 20, 4, 1), "corr-1")
+	st := b.AddStair(geom.R(20, 0, 24, 4, 0), "stair", 15)
+	dLow := b.AddDoor(geom.Pt(20, 2, 0), c0, st)
+	dHigh := b.AddDoor(geom.Pt(20, 2, 1), c1, st)
+	v, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if got := v.IntraDoorDist(st, dLow, dHigh); !almostEq(got, 15) {
+		t.Errorf("stair traversal = %v, want StairLength 15", got)
+	}
+	// Within the lower corridor, distance to the stair door is planar.
+	e := b2Door(t, v, c0, dLow)
+	_ = e
+	if got := v.PointDoorDist(c0, geom.Pt(0, 2, 0), dLow); !almostEq(got, 20) {
+		t.Errorf("PointDoorDist = %v, want 20", got)
+	}
+	// From a point on level 0 inside the stair to the level-1 door the
+	// planar distance is meaningless; the stair length is charged.
+	if got := v.PointDoorDist(st, geom.Pt(22, 2, 0), dHigh); !almostEq(got, 15) {
+		t.Errorf("cross-level PointDoorDist = %v, want 15", got)
+	}
+}
+
+func b2Door(t *testing.T, v *Venue, pid PartitionID, d DoorID) *Door {
+	t.Helper()
+	if !v.Door(d).Borders(pid) {
+		t.Fatalf("door %d does not border partition %d", d, pid)
+	}
+	return v.Door(d)
+}
+
+func TestAdjacentPartitionsAndDoorsBetween(t *testing.T) {
+	v := twoRooms(t)
+	adj := v.AdjacentPartitions(0)
+	if len(adj) != 1 || adj[0] != 1 {
+		t.Errorf("AdjacentPartitions(0) = %v", adj)
+	}
+	doors := v.DoorsBetween(0, 1)
+	if len(doors) != 1 || doors[0] != 0 {
+		t.Errorf("DoorsBetween = %v", doors)
+	}
+	if got := v.DoorsBetween(0, 0); len(got) != 0 {
+		t.Errorf("DoorsBetween(0,0) = %v, want empty", got)
+	}
+}
+
+func TestPartitionAt(t *testing.T) {
+	v := twoRooms(t)
+	if got := v.PartitionAt(geom.Pt(5, 5, 0)); got != 0 {
+		t.Errorf("PartitionAt A-interior = %d", got)
+	}
+	if got := v.PartitionAt(geom.Pt(15, 5, 0)); got != 1 {
+		t.Errorf("PartitionAt B-interior = %d", got)
+	}
+	if got := v.PartitionAt(geom.Pt(10, 5, 0)); got != 0 {
+		t.Errorf("PartitionAt shared wall = %d, want lowest ID 0", got)
+	}
+	if got := v.PartitionAt(geom.Pt(50, 50, 0)); got != NoPartition {
+		t.Errorf("PartitionAt outside = %d", got)
+	}
+	if got := v.PartitionAt(geom.Pt(5, 5, 3)); got != NoPartition {
+		t.Errorf("PartitionAt wrong level = %d", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	b := NewBuilder("stats")
+	c0 := b.AddCorridor(geom.R(0, 0, 20, 4, 0), "corr-0")
+	c1 := b.AddCorridor(geom.R(0, 0, 20, 4, 1), "corr-1")
+	st := b.AddStair(geom.R(20, 0, 24, 4, 0), "stair", 15)
+	r := b.AddRoom(geom.R(0, 4, 20, 14, 0), "R", "dining")
+	b.AddDoor(geom.Pt(20, 2, 0), c0, st)
+	b.AddDoor(geom.Pt(20, 2, 1), c1, st)
+	b.AddDoor(geom.Pt(10, 4, 0), r, c0)
+	v, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	s := v.Stats()
+	if s.Rooms != 1 || s.Corridors != 2 || s.Stairs != 1 || s.Doors != 3 || s.Levels != 2 {
+		t.Errorf("Stats = %+v", s)
+	}
+	if !almostEq(s.ExtentX, 24) || !almostEq(s.ExtentY, 14) {
+		t.Errorf("extent = %v x %v", s.ExtentX, s.ExtentY)
+	}
+}
+
+func TestRoomsAndCategories(t *testing.T) {
+	b := NewBuilder("cat")
+	c := b.AddCorridor(geom.R(0, 0, 30, 4, 0), "corr")
+	r0 := b.AddRoom(geom.R(0, 4, 10, 14, 0), "R0", "dining")
+	r1 := b.AddRoom(geom.R(10, 4, 20, 14, 0), "R1", "fashion")
+	r2 := b.AddRoom(geom.R(20, 4, 30, 14, 0), "R2", "dining")
+	for i, r := range []PartitionID{r0, r1, r2} {
+		b.AddDoor(geom.Pt(float64(i*10+5), 4, 0), r, c)
+	}
+	v, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if got := v.RoomsByCategory("dining"); len(got) != 2 || got[0] != r0 || got[1] != r2 {
+		t.Errorf("RoomsByCategory = %v", got)
+	}
+	if got := v.Rooms(); len(got) != 3 {
+		t.Errorf("Rooms = %v", got)
+	}
+}
+
+func TestRandomPointIn(t *testing.T) {
+	v := twoRooms(t)
+	for _, uv := range [][2]float64{{0, 0}, {0.5, 0.5}, {0.999, 0.999}} {
+		pt := v.RandomPointIn(1, uv[0], uv[1])
+		if !v.Partition(1).Rect.Contains(pt) {
+			t.Errorf("RandomPointIn(%v) = %v escapes partition", uv, pt)
+		}
+		if v.PartitionAt(pt) != 1 {
+			t.Errorf("point %v ambiguous: located in %d", pt, v.PartitionAt(pt))
+		}
+	}
+}
+
+func TestBoundingBox(t *testing.T) {
+	v := twoRooms(t)
+	bb := v.BoundingBox()
+	if bb.Min.X != 0 || bb.Min.Y != 0 || bb.Max.X != 20 || bb.Max.Y != 10 {
+		t.Errorf("BoundingBox = %v", bb)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Room.String() != "room" || Corridor.String() != "corridor" || Stair.String() != "stair" {
+		t.Error("Kind.String wrong")
+	}
+	if got := Kind(9).String(); got != "Kind(9)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+}

@@ -1,0 +1,87 @@
+package indoor
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/indoorspatial/ifls/internal/geom"
+)
+
+// venueJSON is the stable on-disk representation of a Venue. Derived fields
+// (per-partition door lists, level count) are rebuilt on load through the
+// Builder so a decoded venue passes the same validation as a generated one.
+type venueJSON struct {
+	Name       string          `json:"name"`
+	Partitions []partitionJSON `json:"partitions"`
+	Doors      []doorJSON      `json:"doors"`
+}
+
+type partitionJSON struct {
+	Rect        [4]float64 `json:"rect"` // x0 y0 x1 y1
+	Level       int        `json:"level"`
+	Kind        string     `json:"kind"`
+	Name        string     `json:"name,omitempty"`
+	Category    string     `json:"category,omitempty"`
+	StairLength float64    `json:"stair_length,omitempty"`
+}
+
+type doorJSON struct {
+	X     float64 `json:"x"`
+	Y     float64 `json:"y"`
+	Level int     `json:"level"`
+	A     int     `json:"a"`
+	B     int     `json:"b"`
+}
+
+// WriteJSON encodes the venue to w.
+func (v *Venue) WriteJSON(w io.Writer) error {
+	out := venueJSON{Name: v.Name}
+	for i := range v.Partitions {
+		p := &v.Partitions[i]
+		out.Partitions = append(out.Partitions, partitionJSON{
+			Rect:        [4]float64{p.Rect.Min.X, p.Rect.Min.Y, p.Rect.Max.X, p.Rect.Max.Y},
+			Level:       p.Level(),
+			Kind:        p.Kind.String(),
+			Name:        p.Name,
+			Category:    p.Category,
+			StairLength: p.StairLength,
+		})
+	}
+	for i := range v.Doors {
+		d := &v.Doors[i]
+		out.Doors = append(out.Doors, doorJSON{
+			X: d.Loc.X, Y: d.Loc.Y, Level: d.Loc.Level,
+			A: int(d.A), B: int(d.B),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// ReadJSON decodes a venue from r and validates it.
+func ReadJSON(r io.Reader) (*Venue, error) {
+	var in venueJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("indoor: decoding venue: %w", err)
+	}
+	b := NewBuilder(in.Name)
+	for i, p := range in.Partitions {
+		rect := geom.R(p.Rect[0], p.Rect[1], p.Rect[2], p.Rect[3], p.Level)
+		switch p.Kind {
+		case "room":
+			b.AddRoom(rect, p.Name, p.Category)
+		case "corridor":
+			b.AddCorridor(rect, p.Name)
+		case "stair":
+			b.AddStair(rect, p.Name, p.StairLength)
+		default:
+			return nil, fmt.Errorf("indoor: partition %d: unknown kind %q", i, p.Kind)
+		}
+	}
+	for _, d := range in.Doors {
+		b.AddDoor(geom.Pt(d.X, d.Y, d.Level), PartitionID(d.A), PartitionID(d.B))
+	}
+	return b.Build()
+}

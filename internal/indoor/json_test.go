@@ -1,0 +1,79 @@
+package indoor
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/indoorspatial/ifls/internal/geom"
+)
+
+func complexVenue(t *testing.T) *Venue {
+	t.Helper()
+	b := NewBuilder("round-trip")
+	c0 := b.AddCorridor(geom.R(0, 0, 20, 4, 0), "corr-0")
+	c1 := b.AddCorridor(geom.R(0, 0, 20, 4, 1), "corr-1")
+	st := b.AddStair(geom.R(20, 0, 24, 4, 0), "stair", 15)
+	r := b.AddRoom(geom.R(0, 4, 20, 14, 0), "Cafe", "dining & entertainment")
+	b.AddDoor(geom.Pt(20, 2, 0), c0, st)
+	b.AddDoor(geom.Pt(20, 2, 1), c1, st)
+	b.AddDoor(geom.Pt(10, 4, 0), r, c0)
+	b.AddDoor(geom.Pt(0, 2, 0), c0, NoPartition) // entrance
+	v, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return v
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	v := complexVenue(t)
+	var buf bytes.Buffer
+	if err := v.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if got.Name != v.Name {
+		t.Errorf("name = %q, want %q", got.Name, v.Name)
+	}
+	if got.NumPartitions() != v.NumPartitions() || got.NumDoors() != v.NumDoors() {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d partitions/doors",
+			got.NumPartitions(), got.NumDoors(), v.NumPartitions(), v.NumDoors())
+	}
+	for i := range v.Partitions {
+		a, b := &v.Partitions[i], &got.Partitions[i]
+		if a.Rect != b.Rect || a.Kind != b.Kind || a.Name != b.Name ||
+			a.Category != b.Category || a.StairLength != b.StairLength {
+			t.Errorf("partition %d mismatch:\n  %+v\n  %+v", i, a, b)
+		}
+	}
+	for i := range v.Doors {
+		a, b := &v.Doors[i], &got.Doors[i]
+		if a.Loc != b.Loc || a.A != b.A || a.B != b.B {
+			t.Errorf("door %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+	if got.Levels != v.Levels {
+		t.Errorf("levels = %d, want %d", got.Levels, v.Levels)
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Error("expected error for invalid JSON")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"name":"x","partitions":[{"rect":[0,0,1,1],"level":0,"kind":"spaceship"}],"doors":[]}`)); err == nil {
+		t.Error("expected error for unknown partition kind")
+	}
+}
+
+func TestReadJSONValidates(t *testing.T) {
+	// Structurally valid JSON but topologically broken venue (no doors).
+	in := `{"name":"x","partitions":[{"rect":[0,0,1,1],"level":0,"kind":"room"}],"doors":[]}`
+	if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+		t.Error("expected validation error for doorless venue")
+	}
+}

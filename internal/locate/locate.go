@@ -1,0 +1,58 @@
+// Package locate provides fast point-to-partition location for a venue by
+// combining the R*-tree geometric layer with the indoor model — the
+// composite-index role of Xie et al.'s geometric layer. Workload generators
+// and the CLI use it to resolve arbitrary coordinates to partitions.
+package locate
+
+import (
+	"github.com/indoorspatial/ifls/internal/geom"
+	"github.com/indoorspatial/ifls/internal/indoor"
+	"github.com/indoorspatial/ifls/internal/rtree"
+)
+
+// Locator answers point-location queries over a venue's partitions.
+type Locator struct {
+	venue *indoor.Venue
+	tree  rtree.Tree
+}
+
+// New builds a Locator for v.
+func New(v *indoor.Venue) *Locator {
+	l := &Locator{venue: v}
+	for i := range v.Partitions {
+		l.tree.Insert(v.Partitions[i].Rect, int32(i))
+	}
+	return l
+}
+
+// PartitionAt returns the partition containing pt, or NoPartition. When a
+// point lies on a shared wall, the lowest-ID partition wins, matching
+// Venue.PartitionAt.
+func (l *Locator) PartitionAt(pt geom.Point) indoor.PartitionID {
+	best := indoor.NoPartition
+	l.tree.SearchPoint(pt, func(it rtree.Item) bool {
+		p := indoor.PartitionID(it.Data)
+		if best == indoor.NoPartition || p < best {
+			best = p
+		}
+		return true
+	})
+	return best
+}
+
+// RoomAt returns the Room partition containing pt, or NoPartition if the
+// point is outside every room (e.g. in a corridor).
+func (l *Locator) RoomAt(pt geom.Point) indoor.PartitionID {
+	best := indoor.NoPartition
+	l.tree.SearchPoint(pt, func(it rtree.Item) bool {
+		p := indoor.PartitionID(it.Data)
+		if l.venue.Partition(p).Kind != indoor.Room {
+			return true
+		}
+		if best == indoor.NoPartition || p < best {
+			best = p
+		}
+		return true
+	})
+	return best
+}

@@ -1,0 +1,42 @@
+package locate
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/indoorspatial/ifls/internal/geom"
+	"github.com/indoorspatial/ifls/internal/testvenue"
+)
+
+func TestLocatorMatchesLinearScan(t *testing.T) {
+	v := testvenue.Grid(testvenue.GridParams{Cols: 8, Levels: 3, InterRoomDoors: true})
+	l := New(v)
+	rng := rand.New(rand.NewSource(17))
+	bb := v.BoundingBox()
+	for trial := 0; trial < 1000; trial++ {
+		pt := geom.Pt(
+			bb.Min.X-5+rng.Float64()*(bb.Width()+10),
+			bb.Min.Y-5+rng.Float64()*(bb.Height()+10),
+			rng.Intn(4),
+		)
+		if got, want := l.PartitionAt(pt), v.PartitionAt(pt); got != want {
+			t.Fatalf("PartitionAt(%v) = %d, linear scan %d", pt, got, want)
+		}
+	}
+}
+
+func TestRoomAt(t *testing.T) {
+	v := testvenue.Corridor3()
+	l := New(v)
+	// Point in the corridor: PartitionAt finds it, RoomAt does not.
+	pt := geom.Pt(15, 2, 0)
+	if got := l.PartitionAt(pt); got != 0 {
+		t.Fatalf("PartitionAt corridor = %d", got)
+	}
+	if got := l.RoomAt(pt); got != -1 {
+		t.Fatalf("RoomAt corridor = %d, want NoPartition", got)
+	}
+	if got := l.RoomAt(geom.Pt(5, 10, 0)); got != 1 {
+		t.Fatalf("RoomAt R0 = %d, want 1", got)
+	}
+}

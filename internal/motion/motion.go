@@ -1,0 +1,240 @@
+// Package motion simulates moving indoor clients — the scenario the IFLS
+// paper names as future work ("we plan to consider moving clients") and
+// motivates in its introduction (dynamic crowds that force the facility
+// choice to be recomputed).
+//
+// Clients walk at constant speed along exact shortest indoor routes
+// (computed on the door-to-door graph) toward goal rooms; on arrival they
+// dwell and then pick a new goal. A Simulation advances all clients in
+// fixed time steps and can snapshot the population as a core clients slice
+// at any instant, ready to feed an IFLS query. The object layer of the
+// composite indoor index (which partition is each object in, kept current
+// as objects move) falls out of the trajectory bookkeeping.
+package motion
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/indoorspatial/ifls/internal/core"
+	"github.com/indoorspatial/ifls/internal/d2d"
+	"github.com/indoorspatial/ifls/internal/geom"
+	"github.com/indoorspatial/ifls/internal/indoor"
+)
+
+// Waypoint is one vertex of a trajectory: a located point, the partition
+// the leg *arriving* at this waypoint crosses (the start partition for the
+// first waypoint), and the cumulative distance from the start.
+type Waypoint struct {
+	Loc geom.Point
+	// LegPart is the partition of the leg ending at this waypoint.
+	LegPart indoor.PartitionID
+	// DistFromStart is the walked distance when reaching this waypoint.
+	DistFromStart float64
+}
+
+// Trajectory is a shortest indoor route annotated for interpolation.
+type Trajectory struct {
+	Waypoints []Waypoint
+	// Length is the total route distance.
+	Length float64
+}
+
+// PlanTrajectory computes a shortest-route trajectory from a located start
+// to a located goal. The waypoints are the start, each door crossed, and
+// the goal.
+func PlanTrajectory(g *d2d.Graph, from geom.Point, fromPart indoor.PartitionID, to geom.Point, toPart indoor.PartitionID) Trajectory {
+	v := g.Venue()
+	doors, total := g.PointRoute(from, fromPart, to, toPart)
+	tr := Trajectory{Length: total}
+	tr.Waypoints = append(tr.Waypoints, Waypoint{Loc: from, LegPart: fromPart})
+	walked := 0.0
+	prevLoc, prevPart := from, fromPart
+	for _, d := range doors {
+		door := v.Door(d)
+		// The leg to this door happens inside prevPart.
+		walked += v.PointDoorDist(prevPart, prevLoc, d)
+		tr.Waypoints = append(tr.Waypoints, Waypoint{Loc: door.Loc, LegPart: prevPart, DistFromStart: walked})
+		next := door.Other(prevPart)
+		if next == indoor.NoPartition {
+			next = prevPart // exterior doors are never on indoor routes, be safe
+		}
+		prevLoc, prevPart = door.Loc, next
+	}
+	tr.Waypoints = append(tr.Waypoints, Waypoint{Loc: to, LegPart: toPart, DistFromStart: tr.Length})
+	return tr
+}
+
+// At returns the position and partition after walking dist along the
+// trajectory (clamped to the endpoints).
+func (tr *Trajectory) At(dist float64) (geom.Point, indoor.PartitionID) {
+	wps := tr.Waypoints
+	if len(wps) == 0 {
+		return geom.Point{}, indoor.NoPartition
+	}
+	if dist <= 0 {
+		return wps[0].Loc, wps[0].LegPart
+	}
+	last := wps[len(wps)-1]
+	if dist >= tr.Length {
+		return last.Loc, last.LegPart
+	}
+	for i := 1; i < len(wps); i++ {
+		if dist > wps[i].DistFromStart {
+			continue
+		}
+		a, b := wps[i-1], wps[i]
+		segLen := b.DistFromStart - a.DistFromStart
+		if segLen <= 0 {
+			return b.Loc, b.LegPart
+		}
+		f := (dist - a.DistFromStart) / segLen
+		if a.Loc.Level != b.Loc.Level {
+			// A stairwell leg has no planar interpolation: the walker
+			// reports the nearer end's door, located in the partition it
+			// is passing through on that side, so snapshots always carry
+			// a position inside the reported partition.
+			if f < 0.5 {
+				return a.Loc, wps[i-1].LegPart
+			}
+			if i+1 < len(wps) {
+				return b.Loc, wps[i+1].LegPart
+			}
+			return b.Loc, b.LegPart
+		}
+		p := geom.Pt(a.Loc.X+f*(b.Loc.X-a.Loc.X), a.Loc.Y+f*(b.Loc.Y-a.Loc.Y), a.Loc.Level)
+		return p, b.LegPart
+	}
+	return last.Loc, last.LegPart
+}
+
+// Walker is one moving client.
+type Walker struct {
+	ID    int32
+	Speed float64 // meters per second
+	// Dwell is how long the walker pauses at a goal before re-planning.
+	Dwell time.Duration
+
+	traj    Trajectory
+	walked  float64
+	resting time.Duration
+	loc     geom.Point
+	part    indoor.PartitionID
+}
+
+// Client snapshots the walker as an IFLS client.
+func (w *Walker) Client() core.Client {
+	return core.Client{ID: w.ID, Loc: w.loc, Part: w.part}
+}
+
+// Simulation advances a population of walkers over a venue.
+type Simulation struct {
+	venue   *indoor.Venue
+	graph   *d2d.Graph
+	rooms   []indoor.PartitionID
+	rng     *rand.Rand
+	walkers []*Walker
+	elapsed time.Duration
+}
+
+// Config parameterizes NewSimulation.
+type Config struct {
+	// Walkers is the population size.
+	Walkers int
+	// Speed is walking speed in m/s (default 1.4, a typical pedestrian).
+	Speed float64
+	// Dwell is the pause at each goal (default 30s of simulated time).
+	Dwell time.Duration
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// NewSimulation creates a simulation with walkers placed in random rooms.
+func NewSimulation(v *indoor.Venue, g *d2d.Graph, cfg Config) (*Simulation, error) {
+	if cfg.Walkers <= 0 {
+		return nil, fmt.Errorf("motion: need at least one walker, got %d", cfg.Walkers)
+	}
+	if cfg.Speed == 0 {
+		cfg.Speed = 1.4
+	}
+	if cfg.Speed <= 0 {
+		return nil, fmt.Errorf("motion: non-positive speed %v", cfg.Speed)
+	}
+	if cfg.Dwell == 0 {
+		cfg.Dwell = 30 * time.Second
+	}
+	s := &Simulation{
+		venue: v,
+		graph: g,
+		rooms: v.Rooms(),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if len(s.rooms) == 0 {
+		return nil, fmt.Errorf("motion: venue %q has no rooms", v.Name)
+	}
+	for i := 0; i < cfg.Walkers; i++ {
+		part := s.rooms[s.rng.Intn(len(s.rooms))]
+		w := &Walker{
+			ID:    int32(i),
+			Speed: cfg.Speed,
+			Dwell: cfg.Dwell,
+			loc:   v.RandomPointIn(part, s.rng.Float64(), s.rng.Float64()),
+			part:  part,
+		}
+		s.plan(w)
+		s.walkers = append(s.walkers, w)
+	}
+	return s, nil
+}
+
+// plan assigns w a new random goal room and trajectory.
+func (s *Simulation) plan(w *Walker) {
+	goalPart := s.rooms[s.rng.Intn(len(s.rooms))]
+	goal := s.venue.RandomPointIn(goalPart, s.rng.Float64(), s.rng.Float64())
+	w.traj = PlanTrajectory(s.graph, w.loc, w.part, goal, goalPart)
+	w.walked = 0
+	w.resting = 0
+}
+
+// Step advances the simulation by dt.
+func (s *Simulation) Step(dt time.Duration) {
+	s.elapsed += dt
+	for _, w := range s.walkers {
+		if w.resting > 0 {
+			w.resting -= dt
+			if w.resting > 0 {
+				continue
+			}
+			s.plan(w)
+			continue
+		}
+		w.walked += w.Speed * dt.Seconds()
+		w.loc, w.part = w.traj.At(w.walked)
+		if w.walked >= w.traj.Length {
+			w.resting = w.Dwell
+		}
+	}
+}
+
+// Elapsed returns the simulated time so far.
+func (s *Simulation) Elapsed() time.Duration { return s.elapsed }
+
+// Snapshot returns the current population as IFLS clients.
+func (s *Simulation) Snapshot() []core.Client {
+	out := make([]core.Client, len(s.walkers))
+	for i, w := range s.walkers {
+		out[i] = w.Client()
+	}
+	return out
+}
+
+// Occupancy returns, for each partition, how many walkers are currently in
+// it — the object layer of the composite indoor index.
+func (s *Simulation) Occupancy() map[indoor.PartitionID]int {
+	occ := make(map[indoor.PartitionID]int)
+	for _, w := range s.walkers {
+		occ[w.part]++
+	}
+	return occ
+}

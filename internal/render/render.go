@@ -1,0 +1,209 @@
+// Package render draws venues and query results as SVG floor plans, one
+// level per drawing: partitions as rectangles colored by kind, doors as
+// dots, and optional overlays for clients, facilities, and the selected
+// answer. The renderer exists for debugging venue generators and floor
+// plans and for illustrating query results; it emits self-contained SVG
+// using only the standard library.
+package render
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/indoorspatial/ifls/internal/core"
+	"github.com/indoorspatial/ifls/internal/indoor"
+)
+
+// Style configures colors and scale. Zero values take defaults.
+type Style struct {
+	// Scale is pixels per meter (default 4).
+	Scale float64
+	// Margin is the border in meters (default 2).
+	Margin                            float64
+	RoomFill, CorridorFill, StairFill string
+	Stroke                            string
+	DoorFill                          string
+	ClientFill                        string
+	ExistingFill                      string
+	CandidateFill                     string
+	AnswerFill                        string
+}
+
+func (s *Style) defaults() {
+	if s.Scale == 0 {
+		s.Scale = 4
+	}
+	if s.Margin == 0 {
+		s.Margin = 2
+	}
+	def := func(v *string, d string) {
+		if *v == "" {
+			*v = d
+		}
+	}
+	def(&s.RoomFill, "#f3f0e8")
+	def(&s.CorridorFill, "#ddd8cc")
+	def(&s.StairFill, "#c9b8a0")
+	def(&s.Stroke, "#5a5142")
+	def(&s.DoorFill, "#8a7a5c")
+	def(&s.ClientFill, "#4a7aa8")
+	def(&s.ExistingFill, "#3d8a5f")
+	def(&s.CandidateFill, "#c9a227")
+	def(&s.AnswerFill, "#c14f3a")
+}
+
+// Overlay marks query entities on the drawing.
+type Overlay struct {
+	Clients    []core.Client
+	Existing   []indoor.PartitionID
+	Candidates []indoor.PartitionID
+	Answer     indoor.PartitionID
+}
+
+// Level renders one level of the venue to w.
+func Level(w io.Writer, v *indoor.Venue, level int, ov *Overlay, style Style) error {
+	style.defaults()
+	var b strings.Builder
+
+	// Bounding box of this level (stairs straddle; include footprints).
+	var minX, minY, maxX, maxY float64
+	first := true
+	for i := range v.Partitions {
+		p := &v.Partitions[i]
+		if !onLevel(p, level) {
+			continue
+		}
+		r := p.Rect
+		if first {
+			minX, minY, maxX, maxY = r.Min.X, r.Min.Y, r.Max.X, r.Max.Y
+			first = false
+			continue
+		}
+		minX, minY = minF(minX, r.Min.X), minF(minY, r.Min.Y)
+		maxX, maxY = maxF(maxX, r.Max.X), maxF(maxY, r.Max.Y)
+	}
+	if first {
+		return fmt.Errorf("render: venue %q has no partitions on level %d", v.Name, level)
+	}
+	minX -= style.Margin
+	minY -= style.Margin
+	maxX += style.Margin
+	maxY += style.Margin
+	sc := style.Scale
+	width := (maxX - minX) * sc
+	height := (maxY - minY) * sc
+	// SVG y grows downward; venue y grows upward. Flip.
+	tx := func(x float64) float64 { return (x - minX) * sc }
+	ty := func(y float64) float64 { return (maxY - y) * sc }
+
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<title>%s — level %d</title>`+"\n", escape(v.Name), level)
+
+	answer := indoor.NoPartition
+	exist := map[indoor.PartitionID]bool{}
+	cand := map[indoor.PartitionID]bool{}
+	if ov != nil {
+		answer = ov.Answer
+		for _, f := range ov.Existing {
+			exist[f] = true
+		}
+		for _, f := range ov.Candidates {
+			cand[f] = true
+		}
+	}
+
+	for i := range v.Partitions {
+		p := &v.Partitions[i]
+		if !onLevel(p, level) {
+			continue
+		}
+		fill := style.RoomFill
+		switch p.Kind {
+		case indoor.Corridor:
+			fill = style.CorridorFill
+		case indoor.Stair:
+			fill = style.StairFill
+		}
+		switch {
+		case p.ID == answer:
+			fill = style.AnswerFill
+		case exist[p.ID]:
+			fill = style.ExistingFill
+		case cand[p.ID]:
+			fill = style.CandidateFill
+		}
+		r := p.Rect
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="%s" stroke-width="1"/>`+"\n",
+			tx(r.Min.X), ty(r.Max.Y), r.Width()*sc, r.Height()*sc, fill, style.Stroke)
+		if p.Name != "" && p.Kind == indoor.Room && r.Width()*sc > 40 {
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="9" fill="%s" text-anchor="middle">%s</text>`+"\n",
+				tx(r.Center().X), ty(r.Center().Y), style.Stroke, escape(p.Name))
+		}
+	}
+	for i := range v.Doors {
+		d := &v.Doors[i]
+		if d.Loc.Level != level {
+			continue
+		}
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="%s"/>`+"\n",
+			tx(d.Loc.X), ty(d.Loc.Y), style.DoorFill)
+	}
+	if ov != nil {
+		for _, c := range ov.Clients {
+			if c.Loc.Level != level {
+				continue
+			}
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="1.8" fill="%s" fill-opacity="0.7"/>`+"\n",
+				tx(c.Loc.X), ty(c.Loc.Y), style.ClientFill)
+		}
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// onLevel reports whether partition p should be drawn on the given level:
+// its own level, or — for stairs — any level one of its doors opens onto.
+func onLevel(p *indoor.Partition, level int) bool {
+	return p.Level() == level || (p.Kind == indoor.Stair && p.Level()+1 == level)
+}
+
+// AllLevels renders every level, invoking open to obtain one writer per
+// level (e.g. one file per floor).
+func AllLevels(v *indoor.Venue, ov *Overlay, style Style, open func(level int) (io.WriteCloser, error)) error {
+	for lv := 0; lv < v.Levels; lv++ {
+		w, err := open(lv)
+		if err != nil {
+			return err
+		}
+		if err := Level(w, v, lv, ov, style); err != nil {
+			w.Close()
+			return err
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,134 @@
+package render
+
+import (
+	"bytes"
+	"encoding/xml"
+	"io"
+	"strings"
+	"testing"
+
+	"github.com/indoorspatial/ifls/internal/core"
+	"github.com/indoorspatial/ifls/internal/indoor"
+	"github.com/indoorspatial/ifls/internal/testvenue"
+	"github.com/indoorspatial/ifls/internal/venues"
+)
+
+func TestLevelProducesValidXML(t *testing.T) {
+	v := testvenue.Default()
+	var buf bytes.Buffer
+	if err := Level(&buf, v, 0, nil, Style{}); err != nil {
+		t.Fatal(err)
+	}
+	dec := xml.NewDecoder(bytes.NewReader(buf.Bytes()))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v", err)
+		}
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.Contains(out, "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+}
+
+func TestLevelDrawsEveryPartitionAndDoor(t *testing.T) {
+	v := testvenue.Grid(testvenue.GridParams{Cols: 3, Levels: 2})
+	var buf bytes.Buffer
+	if err := Level(&buf, v, 0, nil, Style{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	wantRects := 0
+	for i := range v.Partitions {
+		if onLevel(&v.Partitions[i], 0) {
+			wantRects++
+		}
+	}
+	if got := strings.Count(out, "<rect"); got != wantRects {
+		t.Fatalf("drew %d rects, want %d", got, wantRects)
+	}
+	wantDoors := 0
+	for i := range v.Doors {
+		if v.Doors[i].Loc.Level == 0 {
+			wantDoors++
+		}
+	}
+	if got := strings.Count(out, "<circle"); got != wantDoors {
+		t.Fatalf("drew %d door circles, want %d", got, wantDoors)
+	}
+}
+
+func TestLevelOverlay(t *testing.T) {
+	v := testvenue.Corridor3()
+	ov := &Overlay{
+		Clients:    []core.Client{{ID: 0, Loc: v.Partition(1).Rect.Center(), Part: 1}},
+		Existing:   []indoor.PartitionID{1},
+		Candidates: []indoor.PartitionID{2, 3},
+		Answer:     3,
+	}
+	style := Style{}
+	var buf bytes.Buffer
+	if err := Level(&buf, v, 0, ov, style); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	style.defaults()
+	for name, color := range map[string]string{
+		"answer":    style.AnswerFill,
+		"existing":  style.ExistingFill,
+		"candidate": style.CandidateFill,
+		"client":    style.ClientFill,
+	} {
+		if !strings.Contains(out, color) {
+			t.Errorf("overlay %s color %s not present", name, color)
+		}
+	}
+}
+
+func TestLevelRejectsEmptyLevel(t *testing.T) {
+	v := testvenue.TwoRooms()
+	var buf bytes.Buffer
+	if err := Level(&buf, v, 7, nil, Style{}); err == nil {
+		t.Fatal("expected error for nonexistent level")
+	}
+}
+
+func TestAllLevels(t *testing.T) {
+	v := testvenue.Grid(testvenue.GridParams{Cols: 2, Levels: 3})
+	var opened []int
+	err := AllLevels(v, nil, Style{}, func(level int) (io.WriteCloser, error) {
+		opened = append(opened, level)
+		return nopCloser{new(bytes.Buffer)}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opened) != 3 {
+		t.Fatalf("opened levels %v", opened)
+	}
+}
+
+type nopCloser struct{ *bytes.Buffer }
+
+func (nopCloser) Close() error { return nil }
+
+func TestEscape(t *testing.T) {
+	if got := escape(`a<b>&"c"`); got != "a&lt;b&gt;&amp;&quot;c&quot;" {
+		t.Fatalf("escape = %q", got)
+	}
+}
+
+func TestRenderRealVenue(t *testing.T) {
+	v := venues.MelbourneCentral()
+	var buf bytes.Buffer
+	if err := Level(&buf, v, 3, nil, Style{Scale: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() < 1000 {
+		t.Fatalf("suspiciously small drawing: %d bytes", buf.Len())
+	}
+}

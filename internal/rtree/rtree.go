@@ -1,0 +1,465 @@
+// Package rtree implements an R*-tree (Beckmann, Kriegel, Schneider, Seeger
+// — SIGMOD'90) over level-tagged axis-aligned rectangles. It serves as the
+// geometric layer of the composite indoor index (Xie et al., ICDE'13): the
+// venue's partitions are inserted once, and client coordinates are then
+// located to their containing partition in logarithmic time.
+//
+// The implementation follows the original paper: ChooseSubtree minimizes
+// overlap enlargement at the level above the leaves and area enlargement
+// higher up; the split picks the axis by minimum margin sum and the
+// distribution by minimum overlap; and the first overflow of a leaf during
+// an insertion triggers forced reinsertion of the 30% of its entries
+// farthest from the node center. (The paper reinserts at every level;
+// internal-node overflow here splits directly, a common simplification that
+// preserves correctness and keeps the occupancy benefits where they matter,
+// at the leaves.)
+//
+// Rectangles carry a level (floor number). Planar MBRs of internal nodes may
+// span floors; exact level filtering happens against leaf entries, so
+// queries remain correct for multi-level venues stored in a single tree.
+package rtree
+
+import (
+	"math"
+	"sort"
+
+	"github.com/indoorspatial/ifls/internal/geom"
+)
+
+const (
+	maxEntries      = 16
+	minEntries      = maxEntries * 2 / 5 // 40%, per the R*-tree paper
+	reinsertEntries = maxEntries * 3 / 10
+)
+
+// Item is a stored entry: a rectangle with an opaque integer payload.
+type Item struct {
+	Rect geom.Rect
+	Data int32
+}
+
+type node struct {
+	parent   *node
+	leaf     bool
+	rect     geom.Rect
+	hasRect  bool
+	items    []Item  // when leaf
+	children []*node // when internal
+}
+
+// Tree is an R*-tree. The zero value is an empty, ready-to-use tree. Tree is
+// not safe for concurrent mutation; concurrent reads are safe once built.
+type Tree struct {
+	root       *node
+	size       int
+	reinserted bool // forced reinsert at most once per top-level Insert
+}
+
+// Len returns the number of stored items.
+func (t *Tree) Len() int { return t.size }
+
+// Insert adds an item to the tree.
+func (t *Tree) Insert(r geom.Rect, data int32) {
+	if t.root == nil {
+		t.root = &node{leaf: true}
+	}
+	t.reinserted = false
+	t.insert(Item{Rect: r, Data: data})
+	t.size++
+}
+
+func (t *Tree) insert(it Item) {
+	n := t.chooseLeaf(it.Rect)
+	n.items = append(n.items, it)
+	adjustUp(n, it.Rect)
+	t.overflow(n)
+}
+
+// chooseLeaf descends to the leaf best suited for r.
+func (t *Tree) chooseLeaf(r geom.Rect) *node {
+	n := t.root
+	for !n.leaf {
+		n = n.chooseSubtree(r)
+	}
+	return n
+}
+
+func (n *node) chooseSubtree(r geom.Rect) *node {
+	if n.children[0].leaf {
+		// Level above leaves: minimize overlap enlargement (R*).
+		best := -1
+		bestOverlap, bestEnl, bestArea := math.Inf(1), math.Inf(1), math.Inf(1)
+		for i, c := range n.children {
+			u := c.unionWith(r)
+			var overlap float64
+			for j, o := range n.children {
+				if j != i && o.hasRect {
+					overlap += planarIntersection(u, o.rect)
+				}
+			}
+			enl := u.Area() - c.area()
+			area := c.area()
+			if better3(overlap, enl, area, bestOverlap, bestEnl, bestArea) {
+				best, bestOverlap, bestEnl, bestArea = i, overlap, enl, area
+			}
+		}
+		return n.children[best]
+	}
+	// Higher levels: minimize area enlargement, tie-break smallest area.
+	best := -1
+	bestEnl, bestArea := math.Inf(1), math.Inf(1)
+	for i, c := range n.children {
+		u := c.unionWith(r)
+		enl := u.Area() - c.area()
+		area := c.area()
+		if enl < bestEnl-1e-12 || (almost(enl, bestEnl) && area < bestArea) {
+			best, bestEnl, bestArea = i, enl, area
+		}
+	}
+	return n.children[best]
+}
+
+func better3(a1, a2, a3, b1, b2, b3 float64) bool {
+	if !almost(a1, b1) {
+		return a1 < b1
+	}
+	if !almost(a2, b2) {
+		return a2 < b2
+	}
+	return a3 < b3
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) <= 1e-12 }
+
+// unionWith returns the node MBR extended by r, flattening levels: the
+// planar extent grows, the level tag of the node's existing MBR is kept.
+func (n *node) unionWith(r geom.Rect) geom.Rect {
+	if !n.hasRect {
+		return r
+	}
+	a := n.rect
+	return geom.Rect{
+		Min: geom.Pt(math.Min(a.Min.X, r.Min.X), math.Min(a.Min.Y, r.Min.Y), a.Min.Level),
+		Max: geom.Pt(math.Max(a.Max.X, r.Max.X), math.Max(a.Max.Y, r.Max.Y), a.Min.Level),
+	}
+}
+
+func (n *node) area() float64 {
+	if !n.hasRect {
+		return 0
+	}
+	return n.rect.Area()
+}
+
+func (n *node) count() int {
+	if n.leaf {
+		return len(n.items)
+	}
+	return len(n.children)
+}
+
+// adjustUp extends MBRs from n to the root to cover r.
+func adjustUp(n *node, r geom.Rect) {
+	for ; n != nil; n = n.parent {
+		n.rect = n.unionWith(r)
+		n.hasRect = true
+	}
+}
+
+func (t *Tree) overflow(n *node) {
+	for n != nil && n.count() > maxEntries {
+		if n.leaf && n != t.root && !t.reinserted {
+			t.reinserted = true
+			t.forceReinsert(n)
+			return
+		}
+		left, right := n.split()
+		if n == t.root {
+			t.root = &node{children: []*node{left, right}}
+			left.parent, right.parent = t.root, t.root
+			t.root.recomputeRect()
+			return
+		}
+		p := n.parent
+		for i, c := range p.children {
+			if c == n {
+				p.children[i] = left
+				break
+			}
+		}
+		p.children = append(p.children, right)
+		left.parent, right.parent = p, p
+		p.recomputeRect()
+		n = p
+	}
+	// Tighten ancestors of the final node.
+	for ; n != nil; n = n.parent {
+		n.recomputeRect()
+	}
+}
+
+// forceReinsert evicts the entries of leaf n farthest from its center and
+// reinserts them from the top.
+func (t *Tree) forceReinsert(n *node) {
+	c := n.rect.Center()
+	sort.Slice(n.items, func(i, j int) bool {
+		return n.items[i].Rect.Center().DistSq(c) < n.items[j].Rect.Center().DistSq(c)
+	})
+	keep := len(n.items) - reinsertEntries
+	evicted := append([]Item(nil), n.items[keep:]...)
+	n.items = n.items[:keep]
+	for p := n; p != nil; p = p.parent {
+		p.recomputeRect()
+	}
+	for _, it := range evicted {
+		t.insert(it)
+	}
+}
+
+func (n *node) recomputeRect() {
+	n.hasRect = false
+	if n.leaf {
+		for _, it := range n.items {
+			n.rect = n.unionWith(it.Rect)
+			n.hasRect = true
+		}
+		return
+	}
+	for _, c := range n.children {
+		if c.hasRect {
+			n.rect = n.unionWith(c.rect)
+			n.hasRect = true
+		}
+	}
+}
+
+// splitEntry is a uniform view over leaf items and internal children during
+// a split.
+type splitEntry struct {
+	rect  geom.Rect
+	item  Item
+	child *node
+}
+
+// split divides an overflowing node in two using the R* axis/distribution
+// choice: the axis with minimum total margin over all legal distributions,
+// then the distribution with minimum planar overlap (ties: minimum area).
+func (n *node) split() (*node, *node) {
+	var entries []splitEntry
+	if n.leaf {
+		for _, it := range n.items {
+			entries = append(entries, splitEntry{rect: it.Rect, item: it})
+		}
+	} else {
+		for _, c := range n.children {
+			entries = append(entries, splitEntry{rect: c.rect, child: c})
+		}
+	}
+	m := len(entries)
+	bestAxis := 0
+	bestMargin := math.Inf(1)
+	for axis := 0; axis < 2; axis++ {
+		sortByAxis(entries, axis)
+		margin := 0.0
+		for k := minEntries; k <= m-minEntries; k++ {
+			margin += mbrOf(entries[:k]).Perimeter() + mbrOf(entries[k:]).Perimeter()
+		}
+		if margin < bestMargin {
+			bestMargin, bestAxis = margin, axis
+		}
+	}
+	sortByAxis(entries, bestAxis)
+	bestSplit := minEntries
+	bestOverlap, bestArea := math.Inf(1), math.Inf(1)
+	for k := minEntries; k <= m-minEntries; k++ {
+		l, r := mbrOf(entries[:k]), mbrOf(entries[k:])
+		overlap := planarIntersection(l, r)
+		area := l.Area() + r.Area()
+		if overlap < bestOverlap-1e-12 || (almost(overlap, bestOverlap) && area < bestArea) {
+			bestOverlap, bestArea, bestSplit = overlap, area, k
+		}
+	}
+	left := &node{leaf: n.leaf}
+	right := &node{leaf: n.leaf}
+	for i, e := range entries {
+		dst := left
+		if i >= bestSplit {
+			dst = right
+		}
+		if n.leaf {
+			dst.items = append(dst.items, e.item)
+		} else {
+			e.child.parent = dst
+			dst.children = append(dst.children, e.child)
+		}
+	}
+	left.recomputeRect()
+	right.recomputeRect()
+	return left, right
+}
+
+func sortByAxis(entries []splitEntry, axis int) {
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i].rect, entries[j].rect
+		if axis == 0 {
+			if a.Min.X != b.Min.X {
+				return a.Min.X < b.Min.X
+			}
+			return a.Max.X < b.Max.X
+		}
+		if a.Min.Y != b.Min.Y {
+			return a.Min.Y < b.Min.Y
+		}
+		return a.Max.Y < b.Max.Y
+	})
+}
+
+func mbrOf(entries []splitEntry) geom.Rect {
+	r := entries[0].rect
+	out := geom.Rect{Min: r.Min, Max: r.Max}
+	for _, e := range entries[1:] {
+		out = geom.Rect{
+			Min: geom.Pt(math.Min(out.Min.X, e.rect.Min.X), math.Min(out.Min.Y, e.rect.Min.Y), out.Min.Level),
+			Max: geom.Pt(math.Max(out.Max.X, e.rect.Max.X), math.Max(out.Max.Y, e.rect.Max.Y), out.Min.Level),
+		}
+	}
+	return out
+}
+
+// planarIntersection ignores levels when computing overlap area, because
+// internal MBRs may span floors.
+func planarIntersection(a, b geom.Rect) float64 {
+	w := math.Min(a.Max.X, b.Max.X) - math.Max(a.Min.X, b.Min.X)
+	h := math.Min(a.Max.Y, b.Max.Y) - math.Max(a.Min.Y, b.Min.Y)
+	if w <= 0 || h <= 0 {
+		return 0
+	}
+	return w * h
+}
+
+// planarContains reports whether the planar extent of r covers p's planar
+// coordinates (levels ignored).
+func planarContains(r geom.Rect, p geom.Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// SearchPoint calls fn for every item whose rectangle contains p (exact
+// level match). Iteration stops early if fn returns false.
+func (t *Tree) SearchPoint(p geom.Point, fn func(Item) bool) {
+	if t.root == nil {
+		return
+	}
+	t.root.searchPoint(p, fn)
+}
+
+func (n *node) searchPoint(p geom.Point, fn func(Item) bool) bool {
+	if !n.hasRect || !planarContains(n.rect, p) {
+		return true
+	}
+	if n.leaf {
+		for _, it := range n.items {
+			if it.Rect.Contains(p) {
+				if !fn(it) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, c := range n.children {
+		if !c.searchPoint(p, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// SearchRect calls fn for every item whose rectangle intersects r (exact
+// level match). Iteration stops early if fn returns false.
+func (t *Tree) SearchRect(r geom.Rect, fn func(Item) bool) {
+	if t.root == nil {
+		return
+	}
+	t.root.searchRect(r, fn)
+}
+
+func (n *node) searchRect(r geom.Rect, fn func(Item) bool) bool {
+	if !n.hasRect || planarIntersection(n.rect, r) == 0 && !planarTouch(n.rect, r) {
+		return true
+	}
+	if n.leaf {
+		for _, it := range n.items {
+			if it.Rect.Intersects(r) {
+				if !fn(it) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, c := range n.children {
+		if !c.searchRect(r, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// planarTouch reports boundary contact (zero-area intersection), which
+// Intersects treats as overlapping.
+func planarTouch(a, b geom.Rect) bool {
+	return a.Min.X <= b.Max.X && b.Min.X <= a.Max.X &&
+		a.Min.Y <= b.Max.Y && b.Min.Y <= a.Max.Y
+}
+
+// CheckInvariants walks the tree verifying structural invariants; it returns
+// false with a description on the first violation. Used by tests.
+func (t *Tree) CheckInvariants() (bool, string) {
+	if t.root == nil {
+		return true, ""
+	}
+	var walk func(n *node, isRoot bool, depth int) (bool, string, int)
+	walk = func(n *node, isRoot bool, depth int) (bool, string, int) {
+		if !isRoot && n.count() < minEntries {
+			return false, "underfull node", depth
+		}
+		if n.count() > maxEntries {
+			return false, "overfull node", depth
+		}
+		if n.leaf {
+			for _, it := range n.items {
+				if !planarContains2(n.rect, it.Rect) {
+					return false, "leaf MBR does not cover item", depth
+				}
+			}
+			return true, "", depth
+		}
+		leafDepth := -1
+		for _, c := range n.children {
+			if c.parent != n {
+				return false, "broken parent pointer", depth
+			}
+			if !planarContains2(n.rect, c.rect) {
+				return false, "internal MBR does not cover child", depth
+			}
+			ok, msg, d := walk(c, false, depth+1)
+			if !ok {
+				return false, msg, d
+			}
+			if leafDepth == -1 {
+				leafDepth = d
+			} else if leafDepth != d {
+				return false, "unbalanced tree", depth
+			}
+		}
+		return true, "", leafDepth
+	}
+	ok, msg, _ := walk(t.root, true, 0)
+	return ok, msg
+}
+
+func planarContains2(outer, inner geom.Rect) bool {
+	const eps = 1e-9
+	return inner.Min.X >= outer.Min.X-eps && inner.Max.X <= outer.Max.X+eps &&
+		inner.Min.Y >= outer.Min.Y-eps && inner.Max.Y <= outer.Max.Y+eps
+}

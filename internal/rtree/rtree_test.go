@@ -1,0 +1,239 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/indoorspatial/ifls/internal/geom"
+)
+
+func TestEmptyTree(t *testing.T) {
+	var tr Tree
+	if tr.Len() != 0 {
+		t.Fatal("empty tree Len != 0")
+	}
+	found := false
+	tr.SearchPoint(geom.Pt(0, 0, 0), func(Item) bool { found = true; return true })
+	if found {
+		t.Fatal("empty tree returned items")
+	}
+	if ok, msg := tr.CheckInvariants(); !ok {
+		t.Fatalf("empty tree invariants: %s", msg)
+	}
+}
+
+func TestSingleItem(t *testing.T) {
+	var tr Tree
+	tr.Insert(geom.R(0, 0, 10, 10, 0), 42)
+	var got []int32
+	tr.SearchPoint(geom.Pt(5, 5, 0), func(it Item) bool {
+		got = append(got, it.Data)
+		return true
+	})
+	if len(got) != 1 || got[0] != 42 {
+		t.Fatalf("SearchPoint = %v", got)
+	}
+}
+
+func TestPointQueryExactness(t *testing.T) {
+	// A grid of non-overlapping unit cells: every interior point hits
+	// exactly its own cell.
+	var tr Tree
+	const n = 20
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			tr.Insert(geom.R(float64(i), float64(j), float64(i+1), float64(j+1), 0), int32(i*n+j))
+		}
+	}
+	if tr.Len() != n*n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if ok, msg := tr.CheckInvariants(); !ok {
+		t.Fatalf("invariants: %s", msg)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 500; trial++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		p := geom.Pt(float64(i)+0.5, float64(j)+0.5, 0)
+		var got []int32
+		tr.SearchPoint(p, func(it Item) bool { got = append(got, it.Data); return true })
+		if len(got) != 1 || got[0] != int32(i*n+j) {
+			t.Fatalf("point %v got %v, want [%d]", p, got, i*n+j)
+		}
+	}
+}
+
+func TestLevelFiltering(t *testing.T) {
+	var tr Tree
+	// Same planar rect on 5 different levels.
+	for lv := 0; lv < 5; lv++ {
+		tr.Insert(geom.R(0, 0, 10, 10, lv), int32(lv))
+	}
+	for lv := 0; lv < 5; lv++ {
+		var got []int32
+		tr.SearchPoint(geom.Pt(5, 5, lv), func(it Item) bool { got = append(got, it.Data); return true })
+		if len(got) != 1 || got[0] != int32(lv) {
+			t.Fatalf("level %d: got %v", lv, got)
+		}
+	}
+	var got []int32
+	tr.SearchPoint(geom.Pt(5, 5, 9), func(it Item) bool { got = append(got, it.Data); return true })
+	if len(got) != 0 {
+		t.Fatalf("nonexistent level returned %v", got)
+	}
+}
+
+func TestSearchRect(t *testing.T) {
+	var tr Tree
+	for i := 0; i < 10; i++ {
+		tr.Insert(geom.R(float64(i*10), 0, float64(i*10+5), 5, 0), int32(i))
+	}
+	var got []int32
+	tr.SearchRect(geom.R(12, 0, 33, 5, 0), func(it Item) bool { got = append(got, it.Data); return true })
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	// Rects [10,15], [20,25], [30,35] intersect x-range [12,33].
+	want := []int32{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("SearchRect = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SearchRect = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	var tr Tree
+	for i := 0; i < 100; i++ {
+		tr.Insert(geom.R(0, 0, 1, 1, 0), int32(i)) // all overlapping
+	}
+	count := 0
+	tr.SearchPoint(geom.Pt(0.5, 0.5, 0), func(Item) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("early stop visited %d items, want 3", count)
+	}
+}
+
+func TestOverlappingItems(t *testing.T) {
+	var tr Tree
+	const n = 200
+	for i := 0; i < n; i++ {
+		tr.Insert(geom.R(0, 0, 100, 100, 0), int32(i))
+	}
+	count := 0
+	tr.SearchPoint(geom.Pt(50, 50, 0), func(Item) bool { count++; return true })
+	if count != n {
+		t.Fatalf("found %d of %d overlapping items", count, n)
+	}
+	if ok, msg := tr.CheckInvariants(); !ok {
+		t.Fatalf("invariants: %s", msg)
+	}
+}
+
+func TestInvariantsRandomWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var tr Tree
+	type stored struct {
+		r geom.Rect
+		d int32
+	}
+	var all []stored
+	for i := 0; i < 3000; i++ {
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		w, h := rng.Float64()*20+0.1, rng.Float64()*20+0.1
+		lv := rng.Intn(4)
+		r := geom.R(x, y, x+w, y+h, lv)
+		tr.Insert(r, int32(i))
+		all = append(all, stored{r, int32(i)})
+	}
+	if ok, msg := tr.CheckInvariants(); !ok {
+		t.Fatalf("invariants after random inserts: %s", msg)
+	}
+	if tr.Len() != len(all) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(all))
+	}
+	// Verify query results against a linear scan for random points.
+	for trial := 0; trial < 200; trial++ {
+		p := geom.Pt(rng.Float64()*1000, rng.Float64()*1000, rng.Intn(4))
+		want := map[int32]bool{}
+		for _, s := range all {
+			if s.r.Contains(p) {
+				want[s.d] = true
+			}
+		}
+		got := map[int32]bool{}
+		tr.SearchPoint(p, func(it Item) bool { got[it.Data] = true; return true })
+		if len(got) != len(want) {
+			t.Fatalf("point %v: got %d items, want %d", p, len(got), len(want))
+		}
+		for d := range want {
+			if !got[d] {
+				t.Fatalf("point %v: missing item %d", p, d)
+			}
+		}
+	}
+	// And rect queries.
+	for trial := 0; trial < 100; trial++ {
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		q := geom.R(x, y, x+50, y+50, rng.Intn(4))
+		want := map[int32]bool{}
+		for _, s := range all {
+			if s.r.Intersects(q) {
+				want[s.d] = true
+			}
+		}
+		got := map[int32]bool{}
+		tr.SearchRect(q, func(it Item) bool { got[it.Data] = true; return true })
+		if len(got) != len(want) {
+			t.Fatalf("rect %v: got %d items, want %d", q, len(got), len(want))
+		}
+	}
+}
+
+func TestSequentialInsertionOrder(t *testing.T) {
+	// Sorted insertion is the classic R-tree worst case; R* forced
+	// reinsertion should still produce a valid, balanced tree.
+	var tr Tree
+	for i := 0; i < 1000; i++ {
+		x := float64(i)
+		tr.Insert(geom.R(x, 0, x+1, 1, 0), int32(i))
+	}
+	if ok, msg := tr.CheckInvariants(); !ok {
+		t.Fatalf("invariants: %s", msg)
+	}
+	var got []int32
+	tr.SearchPoint(geom.Pt(500.5, 0.5, 0), func(it Item) bool { got = append(got, it.Data); return true })
+	if len(got) != 1 || got[0] != 500 {
+		t.Fatalf("got %v, want [500]", got)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	var tr Tree
+	for i := 0; i < b.N; i++ {
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		tr.Insert(geom.R(x, y, x+5, y+5, 0), int32(i))
+	}
+}
+
+func BenchmarkSearchPoint(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var tr Tree
+	for i := 0; i < 10000; i++ {
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		tr.Insert(geom.R(x, y, x+5, y+5, 0), int32(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := geom.Pt(rng.Float64()*1000, rng.Float64()*1000, 0)
+		tr.SearchPoint(p, func(Item) bool { return true })
+	}
+}

@@ -1,0 +1,298 @@
+// Package temporal adds time-variation awareness to the indoor model, in
+// the spirit of the ITSPQ line of work the paper surveys (Liu et al., TKDE
+// 2023): doors carry opening schedules, and distance computations at a time
+// instant ignore closed doors.
+//
+// The VIP-tree's distance matrices assume a static topology, so temporal
+// queries evaluate on a masked door-to-door graph: exact, with Dijkstra
+// cost per source partition. Workloads that issue many queries against the
+// same snapshot can instead materialize the snapshot as a venue (when it
+// stays connected) and index it normally.
+package temporal
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/indoorspatial/ifls/internal/core"
+	"github.com/indoorspatial/ifls/internal/d2d"
+	"github.com/indoorspatial/ifls/internal/indoor"
+	"github.com/indoorspatial/ifls/internal/pq"
+)
+
+// Interval is a half-open daily opening window [Open, Close).
+type Interval struct {
+	Open, Close time.Duration
+}
+
+// Schedule is a door's daily opening schedule. An empty schedule means
+// always open.
+type Schedule struct {
+	Intervals []Interval
+}
+
+// Always is the always-open schedule.
+var Always = Schedule{}
+
+// Daily returns a single-window schedule.
+func Daily(open, close time.Duration) Schedule {
+	return Schedule{Intervals: []Interval{{Open: open, Close: close}}}
+}
+
+// OpenAt reports whether the schedule is open at time-of-day t.
+func (s Schedule) OpenAt(t time.Duration) bool {
+	if len(s.Intervals) == 0 {
+		return true
+	}
+	t = normalizeDay(t)
+	for _, iv := range s.Intervals {
+		if iv.Open <= t && t < iv.Close {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks that intervals are well-formed (0 <= Open < Close <= 24h)
+// and non-overlapping.
+func (s Schedule) Validate() error {
+	ivs := append([]Interval(nil), s.Intervals...)
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].Open < ivs[j].Open })
+	for i, iv := range ivs {
+		if iv.Open < 0 || iv.Close > 24*time.Hour || iv.Open >= iv.Close {
+			return fmt.Errorf("temporal: bad interval [%v, %v)", iv.Open, iv.Close)
+		}
+		if i > 0 && iv.Open < ivs[i-1].Close {
+			return fmt.Errorf("temporal: overlapping intervals at %v", iv.Open)
+		}
+	}
+	return nil
+}
+
+func normalizeDay(t time.Duration) time.Duration {
+	day := 24 * time.Hour
+	t %= day
+	if t < 0 {
+		t += day
+	}
+	return t
+}
+
+// Timetable assigns schedules to a venue's doors. Doors without an explicit
+// schedule are always open.
+type Timetable struct {
+	venue *indoor.Venue
+	sched map[indoor.DoorID]Schedule
+}
+
+// NewTimetable creates an empty timetable for v.
+func NewTimetable(v *indoor.Venue) *Timetable {
+	return &Timetable{venue: v, sched: make(map[indoor.DoorID]Schedule)}
+}
+
+// SetDoor assigns a schedule to a door.
+func (tt *Timetable) SetDoor(d indoor.DoorID, s Schedule) error {
+	if int(d) < 0 || int(d) >= tt.venue.NumDoors() {
+		return fmt.Errorf("temporal: unknown door %d", d)
+	}
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	tt.sched[d] = s
+	return nil
+}
+
+// OpenAt reports whether door d is open at time-of-day t.
+func (tt *Timetable) OpenAt(d indoor.DoorID, t time.Duration) bool {
+	s, ok := tt.sched[d]
+	if !ok {
+		return true
+	}
+	return s.OpenAt(t)
+}
+
+// Mask returns the per-door open flags at time-of-day t.
+func (tt *Timetable) Mask(t time.Duration) []bool {
+	open := make([]bool, tt.venue.NumDoors())
+	for i := range open {
+		open[i] = tt.OpenAt(indoor.DoorID(i), t)
+	}
+	return open
+}
+
+// Snapshot materializes the venue as it stands at time-of-day t: closed
+// doors removed. It fails when removing them disconnects the venue (the
+// indoor model requires connectivity); callers fall back to masked-graph
+// queries, which tolerate unreachable regions by reporting +Inf.
+func (tt *Timetable) Snapshot(t time.Duration) (*indoor.Venue, error) {
+	v := tt.venue
+	open := tt.Mask(t)
+	b := indoor.NewBuilder(fmt.Sprintf("%s@%v", v.Name, normalizeDay(t)))
+	for i := range v.Partitions {
+		p := &v.Partitions[i]
+		switch p.Kind {
+		case indoor.Room:
+			b.AddRoom(p.Rect, p.Name, p.Category)
+		case indoor.Corridor:
+			b.AddCorridor(p.Rect, p.Name)
+		case indoor.Stair:
+			b.AddStair(p.Rect, p.Name, p.StairLength)
+		}
+	}
+	for i := range v.Doors {
+		if !open[i] {
+			continue
+		}
+		d := &v.Doors[i]
+		b.AddDoor(d.Loc, d.A, d.B)
+	}
+	return b.Build()
+}
+
+// DistAt returns the exact indoor distance between two located points at
+// time-of-day t, traversing only open doors. Unreachable pairs report +Inf.
+func DistAt(g *d2d.Graph, tt *Timetable, t time.Duration,
+	p core.Client, q core.Client) float64 {
+	open := tt.Mask(t)
+	return maskedPointToPoint(g, open, p, q)
+}
+
+func maskedPointToPoint(g *d2d.Graph, open []bool, p, q core.Client) float64 {
+	v := g.Venue()
+	if p.Part == q.Part {
+		return v.IntraPointDist(p.Part, p.Loc, q.Loc)
+	}
+	dist := maskedFromPoint(g, open, p)
+	best := math.Inf(1)
+	for _, d := range v.Partition(q.Part).Doors {
+		if !open[d] {
+			continue
+		}
+		if t := dist[d] + v.PointDoorDist(q.Part, q.Loc, d); t < best {
+			best = t
+		}
+	}
+	return best
+}
+
+// maskedFromPoint runs Dijkstra from a located point over open doors only.
+func maskedFromPoint(g *d2d.Graph, open []bool, c core.Client) []float64 {
+	v := g.Venue()
+	n := v.NumDoors()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	q := pq.New[indoor.DoorID](32)
+	for _, d := range v.Partition(c.Part).Doors {
+		if !open[d] {
+			continue
+		}
+		off := v.PointDoorDist(c.Part, c.Loc, d)
+		if off < dist[d] {
+			dist[d] = off
+			q.Push(d, off)
+		}
+	}
+	for !q.Empty() {
+		d, dd := q.Pop()
+		if dd > dist[d] {
+			continue
+		}
+		door := v.Door(d)
+		for _, pid := range []indoor.PartitionID{door.A, door.B} {
+			if pid == indoor.NoPartition {
+				continue
+			}
+			for _, nd := range v.Partition(pid).Doors {
+				if nd == d || !open[nd] {
+					continue
+				}
+				alt := dd + v.IntraDoorDist(pid, d, nd)
+				if alt < dist[nd] {
+					dist[nd] = alt
+					q.Push(nd, alt)
+				}
+			}
+		}
+	}
+	return dist
+}
+
+// SolveAt answers a MinMax IFLS query at time-of-day t on the masked graph:
+// exact brute-force evaluation over open doors. Clients that cannot reach
+// any facility contribute +Inf, so a query in a venue whose relevant region
+// is closed reports Found=false with an infinite status quo preserved.
+func SolveAt(g *d2d.Graph, tt *Timetable, q *core.Query, t time.Duration) core.BruteResult {
+	v := g.Venue()
+	open := tt.Mask(t)
+	m := len(q.Clients)
+	res := core.BruteResult{Result: core.Result{Found: false, Answer: indoor.NoPartition, Objective: math.NaN()}}
+	res.Objectives = make([]float64, len(q.Candidates))
+	if m == 0 {
+		return res
+	}
+	facs := make([]indoor.PartitionID, 0, len(q.Existing)+len(q.Candidates))
+	facs = append(facs, q.Existing...)
+	facs = append(facs, q.Candidates...)
+	distTo := make([][]float64, m)
+	for ci, c := range q.Clients {
+		dist := maskedFromPoint(g, open, c)
+		row := make([]float64, len(facs))
+		for k, f := range facs {
+			if f == c.Part {
+				row[k] = 0
+				continue
+			}
+			best := math.Inf(1)
+			for _, fd := range v.Partition(f).Doors {
+				if !open[fd] {
+					continue
+				}
+				if t := dist[fd]; t < best {
+					best = t
+				}
+			}
+			row[k] = best
+		}
+		distTo[ci] = row
+	}
+	statusQuo := 0.0
+	nn := make([]float64, m)
+	for ci := range q.Clients {
+		best := math.Inf(1)
+		for k := range q.Existing {
+			if distTo[ci][k] < best {
+				best = distTo[ci][k]
+			}
+		}
+		nn[ci] = best
+		if best > statusQuo {
+			statusQuo = best
+		}
+	}
+	res.StatusQuo = statusQuo
+	bestObj, bestIdx := math.Inf(1), -1
+	for j := range q.Candidates {
+		k := len(q.Existing) + j
+		obj := 0.0
+		for ci := range q.Clients {
+			d := math.Min(nn[ci], distTo[ci][k])
+			if d > obj {
+				obj = d
+			}
+		}
+		res.Objectives[j] = obj
+		if obj < bestObj {
+			bestObj, bestIdx = obj, j
+		}
+	}
+	if bestIdx >= 0 && bestObj < statusQuo {
+		res.Found = true
+		res.Answer = q.Candidates[bestIdx]
+		res.Objective = bestObj
+	}
+	return res
+}

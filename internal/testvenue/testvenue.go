@@ -1,0 +1,224 @@
+// Package testvenue builds small, fully-understood venues for tests. The
+// large generators in internal/venues target the paper's four evaluation
+// venues; the venues here are deliberately tiny so tests can assert exact
+// distances computed by hand, and parameterized so property tests can sweep
+// venue shapes.
+package testvenue
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/indoorspatial/ifls/internal/geom"
+	"github.com/indoorspatial/ifls/internal/indoor"
+)
+
+// TwoRooms returns the smallest interesting venue: two 10x10 rooms side by
+// side sharing one door at (10, 5).
+//
+//	+---------+---------+
+//	|    A    d    B    |
+//	+---------+---------+
+func TwoRooms() *indoor.Venue {
+	b := indoor.NewBuilder("two-rooms")
+	a := b.AddRoom(geom.R(0, 0, 10, 10, 0), "A", "")
+	bb := b.AddRoom(geom.R(10, 0, 20, 10, 0), "B", "")
+	b.AddDoor(geom.Pt(10, 5, 0), a, bb)
+	return b.MustBuild()
+}
+
+// Corridor3 returns three rooms hanging off one corridor:
+//
+//	+----+----+----+
+//	| R0 | R1 | R2 |
+//	+-d0-+-d1-+-d2-+
+//	|   corridor   |
+//	+--------------+
+//
+// Rooms are 10x10 at y in [5, 15]; the corridor is 30x5 at y in [0, 5].
+// Doors are at (5,5), (15,5), (25,5).
+func Corridor3() *indoor.Venue {
+	b := indoor.NewBuilder("corridor-3")
+	c := b.AddCorridor(geom.R(0, 0, 30, 5, 0), "corridor")
+	for i := 0; i < 3; i++ {
+		x0 := float64(i * 10)
+		r := b.AddRoom(geom.R(x0, 5, x0+10, 15, 0), fmt.Sprintf("R%d", i), "")
+		b.AddDoor(geom.Pt(x0+5, 5, 0), r, c)
+	}
+	return b.MustBuild()
+}
+
+// MultiDoorRooms returns a venue exercising multi-door partitions (Case 2 of
+// the paper's iDist calculation): a corridor with two rooms that also share
+// a door directly with each other.
+//
+//	+------+------+
+//	| R0  d2  R1  |
+//	+-d0---+---d1-+
+//	|   corridor  |
+//	+-------------+
+func MultiDoorRooms() *indoor.Venue {
+	b := indoor.NewBuilder("multi-door")
+	c := b.AddCorridor(geom.R(0, 0, 20, 5, 0), "corridor")
+	r0 := b.AddRoom(geom.R(0, 5, 10, 15, 0), "R0", "")
+	r1 := b.AddRoom(geom.R(10, 5, 20, 15, 0), "R1", "")
+	b.AddDoor(geom.Pt(2, 5, 0), r0, c)
+	b.AddDoor(geom.Pt(18, 5, 0), r1, c)
+	b.AddDoor(geom.Pt(10, 10, 0), r0, r1)
+	return b.MustBuild()
+}
+
+// GridParams configures Grid.
+type GridParams struct {
+	// Cols is the number of rooms on each side of the corridor per level.
+	Cols int
+	// Levels is the number of levels (>= 1). Levels are joined by a stair
+	// at the right end of each corridor.
+	Levels int
+	// InterRoomDoors adds a door between horizontally adjacent rooms on
+	// the same side, creating multi-door partitions.
+	InterRoomDoors bool
+	// RoomW and RoomD are room width and depth; CorrW is corridor width.
+	// Zero values default to 10, 8, and 4.
+	RoomW, RoomD, CorrW float64
+	// StairLength is the stair traversal cost; defaults to 12.
+	StairLength float64
+}
+
+func (p *GridParams) defaults() {
+	if p.RoomW == 0 {
+		p.RoomW = 10
+	}
+	if p.RoomD == 0 {
+		p.RoomD = 8
+	}
+	if p.CorrW == 0 {
+		p.CorrW = 4
+	}
+	if p.StairLength == 0 {
+		p.StairLength = 12
+	}
+	if p.Cols < 1 {
+		p.Cols = 1
+	}
+	if p.Levels < 1 {
+		p.Levels = 1
+	}
+}
+
+// Grid builds a multi-level venue: each level has a central corridor with
+// Cols rooms on the south side and Cols rooms on the north side, and a
+// stairwell at the corridor's east end connecting to the level above.
+//
+// Level layout (side view of one level, y grows upward):
+//
+//	y: corrY+CorrW+RoomD  +----+----+----+
+//	                      | N0 | N1 | N2 |   north rooms
+//	y: corrY+CorrW        +-d--+-d--+-d--+--+
+//	                      |   corridor     |St|
+//	y: corrY              +-d--+-d--+-d--+--+
+//	                      | S0 | S1 | S2 |   south rooms
+//	y: corrY-RoomD        +----+----+----+
+func Grid(p GridParams) *indoor.Venue {
+	p.defaults()
+	b := indoor.NewBuilder(fmt.Sprintf("grid-%dx%d", p.Cols, p.Levels))
+	corrY := p.RoomD
+	corrLen := float64(p.Cols) * p.RoomW
+	stairW := p.CorrW // square-ish stair footprint appended east of the corridor
+
+	corridors := make([]indoor.PartitionID, p.Levels)
+	type sideRooms struct{ south, north []indoor.PartitionID }
+	rooms := make([]sideRooms, p.Levels)
+
+	for lv := 0; lv < p.Levels; lv++ {
+		c := b.AddCorridor(geom.R(0, corrY, corrLen, corrY+p.CorrW, lv), fmt.Sprintf("corr-L%d", lv))
+		corridors[lv] = c
+		for i := 0; i < p.Cols; i++ {
+			x0 := float64(i) * p.RoomW
+			s := b.AddRoom(geom.R(x0, corrY-p.RoomD, x0+p.RoomW, corrY, lv), fmt.Sprintf("S%d-L%d", i, lv), "")
+			n := b.AddRoom(geom.R(x0, corrY+p.CorrW, x0+p.RoomW, corrY+p.CorrW+p.RoomD, lv), fmt.Sprintf("N%d-L%d", i, lv), "")
+			rooms[lv].south = append(rooms[lv].south, s)
+			rooms[lv].north = append(rooms[lv].north, n)
+			b.AddDoor(geom.Pt(x0+p.RoomW/2, corrY, lv), s, c)
+			b.AddDoor(geom.Pt(x0+p.RoomW/2, corrY+p.CorrW, lv), n, c)
+		}
+		if p.InterRoomDoors {
+			for i := 0; i+1 < p.Cols; i++ {
+				x := float64(i+1) * p.RoomW
+				b.AddDoor(geom.Pt(x, corrY-p.RoomD/2, lv), rooms[lv].south[i], rooms[lv].south[i+1])
+				b.AddDoor(geom.Pt(x, corrY+p.CorrW+p.RoomD/2, lv), rooms[lv].north[i], rooms[lv].north[i+1])
+			}
+		}
+	}
+	// Stairs: footprint east of each corridor; a stair joins corridor lv
+	// and corridor lv+1.
+	for lv := 0; lv+1 < p.Levels; lv++ {
+		st := b.AddStair(geom.R(corrLen, corrY, corrLen+stairW, corrY+p.CorrW, lv), fmt.Sprintf("stair-L%d", lv), p.StairLength)
+		b.AddDoor(geom.Pt(corrLen, corrY+p.CorrW/2, lv), corridors[lv], st)
+		b.AddDoor(geom.Pt(corrLen, corrY+p.CorrW/2, lv+1), corridors[lv+1], st)
+	}
+	return b.MustBuild()
+}
+
+// Default returns the grid venue most tests use: 2 levels, 4 rooms per side,
+// with inter-room doors.
+func Default() *indoor.Venue {
+	return Grid(GridParams{Cols: 4, Levels: 2, InterRoomDoors: true})
+}
+
+// Random builds a structurally randomized venue from a seed: a random
+// number of levels and rooms, randomly sized rooms carved from per-level
+// cell grids around a corridor, random extra inter-room doors, and stairs
+// joining consecutive levels. Every venue is valid by construction; the
+// variety exercises index construction and query paths beyond the regular
+// grids.
+func Random(seed int64) *indoor.Venue {
+	rng := rand.New(rand.NewSource(seed))
+	levels := 1 + rng.Intn(3)
+	cols := 2 + rng.Intn(8)
+	b := indoor.NewBuilder(fmt.Sprintf("random-%d", seed))
+
+	roomW := 6 + rng.Float64()*8
+	corrW := 3 + rng.Float64()*3
+	stairLen := 8 + rng.Float64()*10
+	corrLen := float64(cols) * roomW
+	corrY := 20.0
+
+	corridors := make([]indoor.PartitionID, levels)
+	for lv := 0; lv < levels; lv++ {
+		corridors[lv] = b.AddCorridor(geom.R(0, corrY, corrLen, corrY+corrW, lv), fmt.Sprintf("corr-%d", lv))
+		for _, side := range []int{0, 1} {
+			// Carve this side into a random number of rooms spanning the
+			// corridor length, with random depths.
+			x := 0.0
+			for x < corrLen-1 {
+				w := roomW * (0.6 + rng.Float64()*1.2)
+				if x+w > corrLen {
+					w = corrLen - x
+				}
+				if w < 2 {
+					break
+				}
+				depth := 5 + rng.Float64()*10
+				var r indoor.PartitionID
+				var doorY float64
+				if side == 0 {
+					r = b.AddRoom(geom.R(x, corrY-depth, x+w, corrY, lv), fmt.Sprintf("S%.0f-%d", x, lv), "")
+					doorY = corrY
+				} else {
+					r = b.AddRoom(geom.R(x, corrY+corrW, x+w, corrY+corrW+depth, lv), fmt.Sprintf("N%.0f-%d", x, lv), "")
+					doorY = corrY + corrW
+				}
+				doorX := x + w*(0.25+rng.Float64()*0.5)
+				b.AddDoor(geom.Pt(doorX, doorY, lv), r, corridors[lv])
+				x += w
+			}
+		}
+	}
+	for lv := 0; lv+1 < levels; lv++ {
+		st := b.AddStair(geom.R(corrLen, corrY, corrLen+corrW, corrY+corrW, lv), fmt.Sprintf("stair-%d", lv), stairLen)
+		b.AddDoor(geom.Pt(corrLen, corrY+corrW/2, lv), corridors[lv], st)
+		b.AddDoor(geom.Pt(corrLen, corrY+corrW/2, lv+1), corridors[lv+1], st)
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,256 @@
+// Package venues generates synthetic reconstructions of the four real
+// indoor venues the IFLS paper evaluates on. The real floor plans are
+// proprietary; these generators reproduce the published room, door, and
+// level counts exactly and approximate each venue's morphology (corridor
+// spine per level, rooms along both sides, stairwells joining consecutive
+// levels), which preserves the structural properties the algorithms are
+// sensitive to: topological depth, door density, partition fan-out, and
+// venue diameter.
+//
+//	Venue               Paper counts                This package
+//	Melbourne Central   298 rooms / 299 doors / 7L  298 partitions / 299 doors / 7 levels
+//	Chadstone           679 rooms / 678 doors / 4L  679 partitions / 678 doors / 4 levels
+//	Copenhagen Airport   76 rooms / 118 doors / 1L   76 partitions / 118 doors / 1 level
+//	Menzies Building   1344 rooms / 1375 doors /16L 1344 partitions / 1375 doors / 16 levels
+//
+// "Rooms" in the paper counts all indoor partitions; here the counts cover
+// rooms, corridors, and stairwells together. Melbourne Central additionally
+// carries the five shop-category labels of the paper's real setting with the
+// published cardinalities (fashion & accessories 101, dining &
+// entertainment 54, health & beauty 39, fresh food 19, banks & services 14).
+package venues
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/indoorspatial/ifls/internal/geom"
+	"github.com/indoorspatial/ifls/internal/indoor"
+)
+
+// Category names of the Melbourne Central real setting.
+const (
+	CategoryFashion = "fashion & accessories"
+	CategoryDining  = "dining & entertainment"
+	CategoryHealth  = "health & beauty"
+	CategoryFresh   = "fresh food"
+	CategoryBanks   = "banks & services"
+	CategoryOther   = "other"
+)
+
+// Categories lists the Melbourne Central categories with the paper's
+// cardinalities, in the order the paper sweeps them (Figure 5a-5e).
+var Categories = []struct {
+	Name  string
+	Count int
+}{
+	{CategoryFashion, 101},
+	{CategoryDining, 54},
+	{CategoryHealth, 39},
+	{CategoryFresh, 19},
+	{CategoryBanks, 14},
+}
+
+// spec configures the generic multi-level mall/office generator.
+type spec struct {
+	name       string
+	levels     int
+	partitions int // total partitions: rooms + corridors + stairs
+	doors      int
+	roomW      float64 // room width along the corridor
+	roomD      float64 // room depth away from the corridor
+	corrW      float64 // corridor width
+	stairLen   float64 // stair traversal cost
+	seed       int64
+	categories bool // assign Melbourne Central category labels
+}
+
+// MelbourneCentral generates the MC venue.
+func MelbourneCentral() *indoor.Venue {
+	return generate(spec{
+		name: "Melbourne Central", levels: 7, partitions: 298, doors: 299,
+		roomW: 12, roomD: 10, corrW: 6, stairLen: 14, seed: 101, categories: true,
+	})
+}
+
+// Chadstone generates the CH venue.
+func Chadstone() *indoor.Venue {
+	return generate(spec{
+		name: "Chadstone", levels: 4, partitions: 679, doors: 678,
+		roomW: 12, roomD: 12, corrW: 8, stairLen: 14, seed: 102,
+	})
+}
+
+// CopenhagenAirport generates the CPH venue (ground floor only, spanning
+// roughly 2000m x 600m like the real terminal).
+func CopenhagenAirport() *indoor.Venue {
+	return generate(spec{
+		name: "Copenhagen Airport", levels: 1, partitions: 76, doors: 118,
+		roomW: 52, roomD: 250, corrW: 40, stairLen: 14, seed: 103,
+	})
+}
+
+// MenziesBuilding generates the MZB venue.
+func MenziesBuilding() *indoor.Venue {
+	return generate(spec{
+		name: "Menzies Building", levels: 16, partitions: 1344, doors: 1375,
+		roomW: 6, roomD: 7, corrW: 3, stairLen: 10, seed: 104,
+	})
+}
+
+// Names lists the short venue names accepted by ByName, in the paper's
+// order.
+var Names = []string{"MC", "CH", "CPH", "MZB"}
+
+// ByName returns a venue by its short name (MC, CH, CPH, MZB).
+func ByName(name string) (*indoor.Venue, error) {
+	switch name {
+	case "MC":
+		return MelbourneCentral(), nil
+	case "CH":
+		return Chadstone(), nil
+	case "CPH":
+		return CopenhagenAirport(), nil
+	case "MZB":
+		return MenziesBuilding(), nil
+	default:
+		return nil, fmt.Errorf("venues: unknown venue %q (want MC, CH, CPH, or MZB)", name)
+	}
+}
+
+// generate builds a venue from a spec: each level is a corridor spine with
+// rooms on both sides, consecutive levels joined by a stairwell at the east
+// end; extra doors beyond the one-door-per-room baseline connect adjacent
+// rooms in the same row.
+func generate(s spec) *indoor.Venue {
+	corridors := s.levels
+	stairs := s.levels - 1
+	rooms := s.partitions - corridors - stairs
+	if rooms <= 0 {
+		panic(fmt.Sprintf("venues: spec %q has no room budget", s.name))
+	}
+	baseDoors := rooms + 2*stairs
+	extraDoors := s.doors - baseDoors
+	if extraDoors < 0 {
+		panic(fmt.Sprintf("venues: spec %q needs %d doors but baseline is %d", s.name, s.doors, baseDoors))
+	}
+
+	b := indoor.NewBuilder(s.name)
+	rng := rand.New(rand.NewSource(s.seed))
+
+	// Distribute rooms across levels as evenly as possible.
+	perLevel := make([]int, s.levels)
+	for i := range perLevel {
+		perLevel[i] = rooms / s.levels
+	}
+	for i := 0; i < rooms%s.levels; i++ {
+		perLevel[i]++
+	}
+
+	corrY := s.roomD
+	type rowRoom struct {
+		id  indoor.PartitionID
+		row int // 0 south, 1 north
+		col int
+		lv  int
+	}
+	var allRooms []rowRoom
+	corridorIDs := make([]indoor.PartitionID, s.levels)
+	maxCols := 0
+	for lv := 0; lv < s.levels; lv++ {
+		if cols := (perLevel[lv] + 1) / 2; cols > maxCols {
+			maxCols = cols
+		}
+	}
+	// All corridors share the longest level's length so the stairwell at
+	// the east end borders every corridor.
+	corrLen := float64(maxCols) * s.roomW
+
+	for lv := 0; lv < s.levels; lv++ {
+		n := perLevel[lv]
+		cols := (n + 1) / 2
+		c := b.AddCorridor(geom.R(0, corrY, corrLen, corrY+s.corrW, lv), fmt.Sprintf("corr-L%d", lv))
+		corridorIDs[lv] = c
+		placed := 0
+		for col := 0; col < cols && placed < n; col++ {
+			x0 := float64(col) * s.roomW
+			// South room.
+			r := b.AddRoom(geom.R(x0, corrY-s.roomD, x0+s.roomW, corrY, lv), fmt.Sprintf("S%d-L%d", col, lv), "")
+			b.AddDoor(geom.Pt(x0+s.roomW/2, corrY, lv), r, c)
+			allRooms = append(allRooms, rowRoom{id: r, row: 0, col: col, lv: lv})
+			placed++
+			if placed >= n {
+				break
+			}
+			// North room.
+			r2 := b.AddRoom(geom.R(x0, corrY+s.corrW, x0+s.roomW, corrY+s.corrW+s.roomD, lv), fmt.Sprintf("N%d-L%d", col, lv), "")
+			b.AddDoor(geom.Pt(x0+s.roomW/2, corrY+s.corrW, lv), r2, c)
+			allRooms = append(allRooms, rowRoom{id: r2, row: 1, col: col, lv: lv})
+			placed++
+		}
+	}
+
+	// Stairs: east of every corridor, joining consecutive levels at the
+	// shared wall x = corrLen.
+	for lv := 0; lv+1 < s.levels; lv++ {
+		st := b.AddStair(geom.R(corrLen, corrY, corrLen+s.corrW, corrY+s.corrW, lv), fmt.Sprintf("stair-L%d", lv), s.stairLen)
+		b.AddDoor(geom.Pt(corrLen, corrY+s.corrW/2, lv), corridorIDs[lv], st)
+		b.AddDoor(geom.Pt(corrLen, corrY+s.corrW/2, lv+1), corridorIDs[lv+1], st)
+	}
+
+	// Extra doors: connect column-adjacent rooms in the same row on the
+	// same level, chosen deterministically.
+	if extraDoors > 0 {
+		type pair struct{ a, b rowRoom }
+		var pairs []pair
+		index := map[[3]int]rowRoom{}
+		for _, r := range allRooms {
+			index[[3]int{r.lv, r.row, r.col}] = r
+		}
+		for _, r := range allRooms {
+			if nb, ok := index[[3]int{r.lv, r.row, r.col + 1}]; ok {
+				pairs = append(pairs, pair{r, nb})
+			}
+		}
+		if len(pairs) < extraDoors {
+			panic(fmt.Sprintf("venues: spec %q wants %d extra doors, only %d adjacent pairs", s.name, extraDoors, len(pairs)))
+		}
+		rng.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
+		for _, p := range pairs[:extraDoors] {
+			x := float64(p.b.col) * s.roomW
+			y := corrY - s.roomD/2
+			if p.a.row == 1 {
+				y = corrY + s.corrW + s.roomD/2
+			}
+			b.AddDoor(geom.Pt(x, y, p.a.lv), p.a.id, p.b.id)
+		}
+	}
+
+	v := b.MustBuild()
+
+	if s.categories {
+		assignCategories(v, rng)
+	}
+	return v
+}
+
+// assignCategories labels Melbourne Central rooms with the paper's shop
+// categories at the published cardinalities; remaining rooms become "other".
+func assignCategories(v *indoor.Venue, rng *rand.Rand) {
+	rooms := v.Rooms()
+	idx := make([]int, len(rooms))
+	for i := range idx {
+		idx[i] = i
+	}
+	rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	pos := 0
+	for _, cat := range Categories {
+		for i := 0; i < cat.Count; i++ {
+			v.Partitions[rooms[idx[pos]]].Category = cat.Name
+			pos++
+		}
+	}
+	for ; pos < len(idx); pos++ {
+		v.Partitions[rooms[idx[pos]]].Category = CategoryOther
+	}
+}

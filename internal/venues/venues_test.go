@@ -1,0 +1,117 @@
+package venues
+
+import (
+	"testing"
+
+	"github.com/indoorspatial/ifls/internal/d2d"
+	"github.com/indoorspatial/ifls/internal/indoor"
+	"github.com/indoorspatial/ifls/internal/vip"
+)
+
+// paperCounts are the published dataset statistics (Section 6.1.1).
+var paperCounts = map[string]struct {
+	partitions, doors, levels int
+}{
+	"MC":  {298, 299, 7},
+	"CH":  {679, 678, 4},
+	"CPH": {76, 118, 1},
+	"MZB": {1344, 1375, 16},
+}
+
+func TestPaperCountsExact(t *testing.T) {
+	for name, want := range paperCounts {
+		t.Run(name, func(t *testing.T) {
+			v, err := ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := v.NumPartitions(); got != want.partitions {
+				t.Errorf("partitions = %d, want %d", got, want.partitions)
+			}
+			if got := v.NumDoors(); got != want.doors {
+				t.Errorf("doors = %d, want %d", got, want.doors)
+			}
+			if got := v.Levels; got != want.levels {
+				t.Errorf("levels = %d, want %d", got, want.levels)
+			}
+		})
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("LAX"); err == nil {
+		t.Fatal("expected error for unknown venue")
+	}
+}
+
+func TestVenuesDeterministic(t *testing.T) {
+	a := MelbourneCentral()
+	b := MelbourneCentral()
+	if a.NumPartitions() != b.NumPartitions() || a.NumDoors() != b.NumDoors() {
+		t.Fatal("generator not deterministic in shape")
+	}
+	for i := range a.Partitions {
+		if a.Partitions[i].Rect != b.Partitions[i].Rect || a.Partitions[i].Category != b.Partitions[i].Category {
+			t.Fatalf("partition %d differs between runs", i)
+		}
+	}
+}
+
+func TestMelbourneCategories(t *testing.T) {
+	v := MelbourneCentral()
+	for _, cat := range Categories {
+		if got := len(v.RoomsByCategory(cat.Name)); got != cat.Count {
+			t.Errorf("category %q: %d rooms, want %d", cat.Name, got, cat.Count)
+		}
+	}
+	// Every room is labeled.
+	for _, r := range v.Rooms() {
+		if v.Partition(r).Category == "" {
+			t.Fatalf("room %d unlabeled", r)
+		}
+	}
+	// Other venues carry no categories.
+	if got := len(Chadstone().RoomsByCategory(CategoryDining)); got != 0 {
+		t.Errorf("Chadstone has %d dining rooms, want 0", got)
+	}
+}
+
+func TestCopenhagenFootprint(t *testing.T) {
+	v := CopenhagenAirport()
+	s := v.Stats()
+	// The real terminal floor spans roughly 2000m x 600m.
+	if s.ExtentX < 1500 || s.ExtentX > 2500 {
+		t.Errorf("extent X = %v, want ~2000", s.ExtentX)
+	}
+	if s.ExtentY < 400 || s.ExtentY > 800 {
+		t.Errorf("extent Y = %v, want ~600", s.ExtentY)
+	}
+}
+
+func TestAllVenuesIndexable(t *testing.T) {
+	// Every venue must build a valid VIP-tree whose distances agree with
+	// the Dijkstra oracle on a sample of partition pairs.
+	for _, name := range Names {
+		t.Run(name, func(t *testing.T) {
+			v, err := ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tree := vip.MustBuild(v, vip.DefaultOptions())
+			if err := tree.CheckInvariants(); err != nil {
+				t.Fatalf("tree invariants: %v", err)
+			}
+			g := d2d.New(v)
+			n := v.NumPartitions()
+			for i := 0; i < 20; i++ {
+				a := indoor.PartitionID((i * 7919) % n)
+				bID := indoor.PartitionID((i*104729 + 13) % n)
+				want := g.PartitionToPartition(a, bID)
+				got := tree.DistPartitionToPartition(a, bID)
+				if diff := got - want; diff > 1e-6 || diff < -1e-6 {
+					t.Fatalf("distance %d->%d: tree %v, oracle %v", a, bID, got, want)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,326 @@
+package vip
+
+import (
+	"math"
+
+	"github.com/indoorspatial/ifls/internal/geom"
+	"github.com/indoorspatial/ifls/internal/indoor"
+)
+
+// Explorer computes indoor distance vectors from a fixed source partition to
+// tree nodes and partitions, lazily and with memoization. It is the shared
+// machinery behind every distance computation in this package:
+//
+//   - rows correspond to the source partition's doors, so a single Explorer
+//     serves every client located in that partition (the client-grouping
+//     optimization of the IFLS paper — per-client values differ only in the
+//     in-partition offsets to the shared doors);
+//   - the vector for a node on the source's leaf-to-root path comes straight
+//     from the leaf's ancestor matrices in a vivid tree (one lookup), or by
+//     climbing the internal matrices in a plain IP-tree;
+//   - vectors for any other node are derived from its parent's vector
+//     through the parent's access-door matrix.
+//
+// All derived values are exact global indoor distances, because the stored
+// matrices are exact and any path into a node must cross one of its access
+// doors.
+//
+// An Explorer is not safe for concurrent use.
+type Explorer struct {
+	t        *Tree
+	src      indoor.PartitionID
+	srcLeaf  NodeID
+	srcDoors []indoor.DoorID
+
+	adVec   map[NodeID][][]float64 // rows × AccessDoors(node)
+	doorVec map[NodeID][][]float64 // leaves: rows × doors(leaf)
+}
+
+// NewExplorer returns an Explorer rooted at source partition src.
+func (t *Tree) NewExplorer(src indoor.PartitionID) *Explorer {
+	return &Explorer{
+		t:        t,
+		src:      src,
+		srcLeaf:  t.leafOf[src],
+		srcDoors: t.venue.Partition(src).Doors,
+		adVec:    make(map[NodeID][][]float64),
+		doorVec:  make(map[NodeID][][]float64),
+	}
+}
+
+// Source returns the source partition.
+func (e *Explorer) Source() indoor.PartitionID { return e.src }
+
+// RetainedBytes estimates the memory held by the explorer's memoized
+// distance vectors — the quantity the paper's memory-cost metric tracks for
+// the efficient approach.
+func (e *Explorer) RetainedBytes() int {
+	cells := 0
+	for _, m := range e.adVec {
+		for _, row := range m {
+			cells += len(row)
+		}
+	}
+	for _, m := range e.doorVec {
+		for _, row := range m {
+			cells += len(row)
+		}
+	}
+	const mapEntryOverhead = 48
+	return cells*8 + (len(e.adVec)+len(e.doorVec))*mapEntryOverhead
+}
+
+// SrcDoors returns the source partition's doors; PointOffsets rows follow
+// this order.
+func (e *Explorer) SrcDoors() []indoor.DoorID { return e.srcDoors }
+
+// PointOffsets returns, for a point inside the source partition, its
+// in-partition distance to each source door — the per-client row offsets.
+func (e *Explorer) PointOffsets(pt geom.Point) []float64 {
+	out := make([]float64, len(e.srcDoors))
+	for i, d := range e.srcDoors {
+		out[i] = e.t.venue.PointDoorDist(e.src, pt, d)
+	}
+	return out
+}
+
+// ADVec returns the distance rows from each source door to each access door
+// of node n. The returned slices are owned by the Explorer; callers must not
+// modify them.
+func (e *Explorer) ADVec(n NodeID) [][]float64 {
+	if v, ok := e.adVec[n]; ok {
+		return v
+	}
+	var v [][]float64
+	nd := e.t.nodes[n]
+	if e.onPath(n) {
+		v = e.pathADVec(n)
+	} else {
+		p := nd.parent
+		var base [][]float64
+		var baseDoors []indoor.DoorID
+		if e.onPath(p) {
+			b := e.t.childOnPath(p, e.srcLeaf)
+			base = e.ADVec(b)
+			baseDoors = e.t.nodes[b].access
+		} else {
+			base = e.ADVec(p)
+			baseDoors = e.t.nodes[p].access
+		}
+		v = e.propagate(base, baseDoors, e.t.nodes[p], nd.access)
+	}
+	e.adVec[n] = v
+	return v
+}
+
+// onPath reports whether n lies on the source leaf's path to the root.
+func (e *Explorer) onPath(n NodeID) bool {
+	for c := e.srcLeaf; c != NoNode; c = e.t.nodes[c].parent {
+		if c == n {
+			return true
+		}
+	}
+	return false
+}
+
+// pathADVec computes the access-door vector for a node on the source path.
+func (e *Explorer) pathADVec(n NodeID) [][]float64 {
+	t := e.t
+	leaf := t.nodes[e.srcLeaf]
+	if n == e.srcLeaf {
+		v := alloc(len(e.srcDoors), len(leaf.access))
+		for i, sd := range e.srcDoors {
+			ri := leaf.doorIdx[sd]
+			for j, ad := range leaf.access {
+				v[i][j] = leaf.full[ri][leaf.doorIdx[ad]]
+			}
+		}
+		return v
+	}
+	if t.opts.Vivid {
+		// One lookup in the leaf's ancestor matrix.
+		for k, a := range leaf.ancIDs {
+			if a == n {
+				m := leaf.anc[k]
+				v := alloc(len(e.srcDoors), len(t.nodes[n].access))
+				for i, sd := range e.srcDoors {
+					copy(v[i], m[leaf.doorIdx[sd]])
+				}
+				return v
+			}
+		}
+		panic("vip: ancestor matrix missing")
+	}
+	// IP-tree: climb one level using n's own matrix.
+	child := t.childOnPath(n, e.srcLeaf)
+	base := e.ADVec(child)
+	return e.propagate(base, t.nodes[child].access, t.nodes[n], t.nodes[n].access)
+}
+
+// propagate derives rows over the target door set from rows over baseDoors,
+// connecting them through the access-door matrix of internal node via. Both
+// door sets must be subsets of via's uDoors.
+func (e *Explorer) propagate(base [][]float64, baseDoors []indoor.DoorID, via *node, target []indoor.DoorID) [][]float64 {
+	rows := len(e.srcDoors)
+	v := alloc(rows, len(target))
+	bi := make([]int, len(baseDoors))
+	for k, d := range baseDoors {
+		bi[k] = via.uIdx[d]
+	}
+	ti := make([]int, len(target))
+	for k, d := range target {
+		ti[k] = via.uIdx[d]
+	}
+	for i := 0; i < rows; i++ {
+		for j := range target {
+			best := math.Inf(1)
+			for k := range baseDoors {
+				if t := base[i][k] + via.uMat[bi[k]][ti[j]]; t < best {
+					best = t
+				}
+			}
+			v[i][j] = best
+		}
+	}
+	return v
+}
+
+// DoorVec returns the distance rows from each source door to every door of
+// leaf node n. The returned slices are owned by the Explorer.
+func (e *Explorer) DoorVec(n NodeID) [][]float64 {
+	if v, ok := e.doorVec[n]; ok {
+		return v
+	}
+	t := e.t
+	nd := t.nodes[n]
+	if !nd.leaf {
+		panic("vip: DoorVec on internal node")
+	}
+	var v [][]float64
+	if n == e.srcLeaf {
+		v = alloc(len(e.srcDoors), len(nd.doors))
+		for i, sd := range e.srcDoors {
+			copy(v[i], nd.full[nd.doorIdx[sd]])
+		}
+	} else {
+		base := e.ADVec(n)
+		v = alloc(len(e.srcDoors), len(nd.doors))
+		for i := range e.srcDoors {
+			for j := range nd.doors {
+				best := math.Inf(1)
+				for k, ad := range nd.access {
+					if t := base[i][k] + nd.full[nd.doorIdx[ad]][j]; t < best {
+						best = t
+					}
+				}
+				v[i][j] = best
+			}
+		}
+	}
+	e.doorVec[n] = v
+	return v
+}
+
+// MinToNode returns iMinD(src, n): the shortest indoor distance from the
+// source partition (distance zero to its own doors) to node n — zero when n
+// contains the source.
+func (e *Explorer) MinToNode(n NodeID) float64 {
+	if e.onPath(n) {
+		return 0
+	}
+	best := math.Inf(1)
+	for _, row := range e.ADVec(n) {
+		for _, d := range row {
+			if d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// MinToPartition returns iMinD(src, f): the shortest indoor distance from
+// the source partition to partition f.
+func (e *Explorer) MinToPartition(f indoor.PartitionID) float64 {
+	if f == e.src {
+		return 0
+	}
+	t := e.t
+	leaf := t.leafOf[f]
+	dv := e.DoorVec(leaf)
+	nd := t.nodes[leaf]
+	best := math.Inf(1)
+	for _, row := range dv {
+		for _, d := range t.venue.Partition(f).Doors {
+			if x := row[nd.doorIdx[d]]; x < best {
+				best = x
+			}
+		}
+	}
+	return best
+}
+
+// PointToNode returns the shortest indoor distance from a point in the
+// source partition (given its door offsets) to node n — zero when n contains
+// the source partition.
+func (e *Explorer) PointToNode(offsets []float64, n NodeID) float64 {
+	if e.onPath(n) {
+		return 0
+	}
+	best := math.Inf(1)
+	for i, row := range e.ADVec(n) {
+		for _, d := range row {
+			if t := offsets[i] + d; t < best {
+				best = t
+			}
+		}
+	}
+	return best
+}
+
+// PointToPartition returns the exact indoor distance from a point in the
+// source partition (given its door offsets) to partition f: the distance to
+// f's nearest door, zero if f is the source partition itself.
+func (e *Explorer) PointToPartition(offsets []float64, f indoor.PartitionID) float64 {
+	if f == e.src {
+		return 0
+	}
+	t := e.t
+	leaf := t.leafOf[f]
+	dv := e.DoorVec(leaf)
+	nd := t.nodes[leaf]
+	best := math.Inf(1)
+	for i, row := range dv {
+		for _, d := range t.venue.Partition(f).Doors {
+			if x := offsets[i] + row[nd.doorIdx[d]]; x < best {
+				best = x
+			}
+		}
+	}
+	return best
+}
+
+// PointToPoint returns the exact indoor distance from a point in the source
+// partition to point q in partition qp.
+func (e *Explorer) PointToPoint(offsets []float64, q geom.Point, qp indoor.PartitionID) float64 {
+	v := e.t.venue
+	if qp == e.src {
+		// Same partition: free movement. The caller's point is implied by
+		// offsets, which cannot express it, so this path needs the point
+		// itself; Tree.DistPointToPoint handles it before calling here.
+		panic("vip: PointToPoint within source partition; use venue.IntraPointDist")
+	}
+	t := e.t
+	leaf := t.leafOf[qp]
+	dv := e.DoorVec(leaf)
+	nd := t.nodes[leaf]
+	best := math.Inf(1)
+	for i, row := range dv {
+		for _, d := range v.Partition(qp).Doors {
+			if x := offsets[i] + row[nd.doorIdx[d]] + v.PointDoorDist(qp, q, d); x < best {
+				best = x
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,157 @@
+package vip
+
+import (
+	"math"
+
+	"github.com/indoorspatial/ifls/internal/geom"
+	"github.com/indoorspatial/ifls/internal/indoor"
+	"github.com/indoorspatial/ifls/internal/pq"
+)
+
+// DistPointToPoint returns the exact indoor distance between two located
+// points. Each call builds a fresh Explorer, matching the cost profile of
+// the standalone VIP-tree distance computation the baseline algorithm uses;
+// batch workloads should hold an Explorer per source partition instead.
+func (t *Tree) DistPointToPoint(p geom.Point, pp indoor.PartitionID, q geom.Point, qp indoor.PartitionID) float64 {
+	if pp == qp {
+		return t.venue.IntraPointDist(pp, p, q)
+	}
+	e := t.NewExplorer(pp)
+	return e.PointToPoint(e.PointOffsets(p), q, qp)
+}
+
+// DistPointToPartition returns the exact indoor distance from a located
+// point to partition f (zero when the point is inside f).
+func (t *Tree) DistPointToPartition(p geom.Point, pp indoor.PartitionID, f indoor.PartitionID) float64 {
+	if pp == f {
+		return 0
+	}
+	e := t.NewExplorer(pp)
+	return e.PointToPartition(e.PointOffsets(p), f)
+}
+
+// DistPartitionToPartition returns the exact indoor distance between two
+// partitions (the paper's iMinD for partition entities).
+func (t *Tree) DistPartitionToPartition(a, b indoor.PartitionID) float64 {
+	if a == b {
+		return 0
+	}
+	return t.NewExplorer(a).MinToPartition(b)
+}
+
+// FacilitySet marks a subset of partitions as facilities, supporting O(1)
+// membership tests and per-leaf iteration during index searches.
+type FacilitySet struct {
+	member []bool
+	list   []indoor.PartitionID
+}
+
+// NewFacilitySet builds a facility set over the venue's partitions.
+func NewFacilitySet(v *indoor.Venue, parts []indoor.PartitionID) *FacilitySet {
+	fs := &FacilitySet{member: make([]bool, v.NumPartitions())}
+	for _, p := range parts {
+		if !fs.member[p] {
+			fs.member[p] = true
+			fs.list = append(fs.list, p)
+		}
+	}
+	return fs
+}
+
+// Contains reports whether partition p is a facility.
+func (fs *FacilitySet) Contains(p indoor.PartitionID) bool { return fs.member[p] }
+
+// Len returns the number of facilities.
+func (fs *FacilitySet) Len() int { return len(fs.list) }
+
+// List returns the facilities in insertion order. Callers must not modify
+// the returned slice.
+func (fs *FacilitySet) List() []indoor.PartitionID { return fs.list }
+
+// nnEntry is a priority-queue entry of the top-down NN search: either a tree
+// node (lower-bound priority) or a facility partition (exact priority).
+type nnEntry struct {
+	node   NodeID
+	part   indoor.PartitionID
+	isPart bool
+}
+
+// NearestFacility returns the facility partition nearest to point p located
+// in partition pp, and its exact indoor distance. It implements the
+// top-down best-first VIP-tree NN search of Shao et al.: nodes enter the
+// queue with exact lower bounds (distance to their nearest access door) and
+// facilities with exact distances, so the first facility dequeued is the
+// answer. Returns (NoPartition, +Inf) when the set is empty.
+func (t *Tree) NearestFacility(p geom.Point, pp indoor.PartitionID, fs *FacilitySet) (indoor.PartitionID, float64) {
+	if fs.Len() == 0 {
+		return indoor.NoPartition, math.Inf(1)
+	}
+	if fs.Contains(pp) {
+		return pp, 0
+	}
+	e := t.NewExplorer(pp)
+	offsets := e.PointOffsets(p)
+	q := pq.New[nnEntry](32)
+	q.Push(nnEntry{node: t.root}, 0)
+	for !q.Empty() {
+		entry, prio := q.Pop()
+		if entry.isPart {
+			return entry.part, prio
+		}
+		nd := t.nodes[entry.node]
+		if nd.leaf {
+			for _, f := range nd.parts {
+				if fs.Contains(f) {
+					q.Push(nnEntry{part: f, isPart: true}, e.PointToPartition(offsets, f))
+				}
+			}
+			continue
+		}
+		for _, c := range nd.children {
+			q.Push(nnEntry{node: c}, e.PointToNode(offsets, c))
+		}
+	}
+	return indoor.NoPartition, math.Inf(1)
+}
+
+// KNearestFacilities returns up to k facilities nearest to p in ascending
+// distance order, with their exact distances. A k of zero or less returns
+// nil.
+func (t *Tree) KNearestFacilities(p geom.Point, pp indoor.PartitionID, fs *FacilitySet, k int) ([]indoor.PartitionID, []float64) {
+	if k <= 0 || fs.Len() == 0 {
+		return nil, nil
+	}
+	e := t.NewExplorer(pp)
+	offsets := e.PointOffsets(p)
+	q := pq.New[nnEntry](32)
+	q.Push(nnEntry{node: t.root}, 0)
+	var parts []indoor.PartitionID
+	var dists []float64
+	pushed := make(map[indoor.PartitionID]bool)
+	if fs.Contains(pp) {
+		q.Push(nnEntry{part: pp, isPart: true}, 0)
+		pushed[pp] = true
+	}
+	for !q.Empty() && len(parts) < k {
+		entry, prio := q.Pop()
+		if entry.isPart {
+			parts = append(parts, entry.part)
+			dists = append(dists, prio)
+			continue
+		}
+		nd := t.nodes[entry.node]
+		if nd.leaf {
+			for _, f := range nd.parts {
+				if fs.Contains(f) && !pushed[f] {
+					pushed[f] = true
+					q.Push(nnEntry{part: f, isPart: true}, e.PointToPartition(offsets, f))
+				}
+			}
+			continue
+		}
+		for _, c := range nd.children {
+			q.Push(nnEntry{node: c}, e.PointToNode(offsets, c))
+		}
+	}
+	return parts, dists
+}

@@ -1,0 +1,121 @@
+package vip
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"github.com/indoorspatial/ifls/internal/indoor"
+)
+
+// The paper indexes the venue once offline and reuses the index across
+// queries. Save/Load persist a built tree — its structure and all
+// distance matrices — so a process can load the index without re-running
+// the construction Dijkstras. The venue itself is serialized separately
+// (indoor JSON); Load verifies the tree matches the venue it is loaded
+// against.
+
+// treeGob mirrors Tree for gob encoding.
+type treeGob struct {
+	Version    int
+	VenueName  string
+	Partitions int
+	Doors      int
+	Opts       Options
+	Root       NodeID
+	LeafOf     []NodeID
+	Depth      []int
+	Nodes      []nodeGob
+}
+
+type nodeGob struct {
+	ID       NodeID
+	Parent   NodeID
+	Children []NodeID
+	Parts    []indoor.PartitionID
+	Leaf     bool
+	Doors    []indoor.DoorID
+	Access   []indoor.DoorID
+	Full     [][]float64
+	UDoors   []indoor.DoorID
+	UMat     [][]float64
+	AncIDs   []NodeID
+	Anc      [][][]float64
+}
+
+const gobVersion = 1
+
+// Save serializes the tree. The format is Go-version-independent gob.
+func (t *Tree) Save(w io.Writer) error {
+	out := treeGob{
+		Version:    gobVersion,
+		VenueName:  t.venue.Name,
+		Partitions: t.venue.NumPartitions(),
+		Doors:      t.venue.NumDoors(),
+		Opts:       t.opts,
+		Root:       t.root,
+		LeafOf:     t.leafOf,
+		Depth:      t.depth,
+	}
+	for _, nd := range t.nodes {
+		out.Nodes = append(out.Nodes, nodeGob{
+			ID: nd.id, Parent: nd.parent, Children: nd.children,
+			Parts: nd.parts, Leaf: nd.leaf,
+			Doors: nd.doors, Access: nd.access, Full: nd.full,
+			UDoors: nd.uDoors, UMat: nd.uMat,
+			AncIDs: nd.ancIDs, Anc: nd.anc,
+		})
+	}
+	return gob.NewEncoder(w).Encode(out)
+}
+
+// Load restores a tree previously written with Save and binds it to
+// venue v, which must be the same venue the tree was built from (verified
+// by name and by partition/door counts).
+func Load(r io.Reader, v *indoor.Venue) (*Tree, error) {
+	var in treeGob
+	if err := gob.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("vip: decoding tree: %w", err)
+	}
+	if in.Version != gobVersion {
+		return nil, fmt.Errorf("vip: unsupported tree format version %d", in.Version)
+	}
+	if in.VenueName != v.Name || in.Partitions != v.NumPartitions() || in.Doors != v.NumDoors() {
+		return nil, fmt.Errorf("vip: tree was built for venue %q (%d partitions, %d doors), got %q (%d, %d)",
+			in.VenueName, in.Partitions, in.Doors, v.Name, v.NumPartitions(), v.NumDoors())
+	}
+	t := &Tree{
+		venue:  v,
+		opts:   in.Opts,
+		root:   in.Root,
+		leafOf: in.LeafOf,
+		depth:  in.Depth,
+	}
+	for _, ng := range in.Nodes {
+		nd := &node{
+			id: ng.ID, parent: ng.Parent, children: ng.Children,
+			parts: ng.Parts, leaf: ng.Leaf,
+			doors: ng.Doors, access: ng.Access, full: ng.Full,
+			uDoors: ng.UDoors, uMat: ng.UMat,
+			ancIDs: ng.AncIDs, anc: ng.Anc,
+		}
+		if nd.leaf {
+			nd.doorIdx = make(map[indoor.DoorID]int, len(nd.doors))
+			for i, d := range nd.doors {
+				nd.doorIdx[d] = i
+			}
+		} else {
+			nd.uIdx = make(map[indoor.DoorID]int, len(nd.uDoors))
+			for i, d := range nd.uDoors {
+				nd.uIdx[d] = i
+			}
+		}
+		t.nodes = append(t.nodes, nd)
+	}
+	if err := t.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("vip: loaded tree invalid: %w", err)
+	}
+	// Rebuild the door graph lazily used by Graph()/path queries.
+	t.graph = nil
+	return t, nil
+}

@@ -1,0 +1,599 @@
+// Package vip implements the IP-tree and VIP-tree indoor indexes (Shao,
+// Cheema, Taniar, Lu — PVLDB'16), the state-of-the-art indexes the IFLS
+// paper builds on.
+//
+// The tree is built bottom-up: adjacent partitions merge into leaf nodes,
+// and adjacent nodes merge level by level until a single root remains. Every
+// leaf stores a door-to-door distance matrix over its own doors; every
+// internal node stores a matrix over the union of its children's access
+// doors; and — the "vivid" feature that turns an IP-tree into a VIP-tree —
+// every leaf additionally stores the distances from each of its doors to the
+// access doors of every ancestor, which turns the leaf-to-ancestor climb
+// into a single lookup.
+//
+// Distances stored in the matrices are exact global indoor distances
+// computed on the door-to-door graph at construction time. This differs
+// from the original paper in one deliberate way: the paper stores
+// within-subtree distances plus first-hop doors so paths can be
+// reconstructed by hopping matrices; storing global distances yields the
+// same (exact) distance results with a simpler query path, and shortest
+// *path* reconstruction — which the IFLS algorithms never need — is
+// delegated to the d2d graph.
+package vip
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/indoorspatial/ifls/internal/d2d"
+	"github.com/indoorspatial/ifls/internal/indoor"
+)
+
+// NodeID identifies a tree node; dense index into Tree.nodes.
+type NodeID int32
+
+// NoNode marks the absence of a node (the root's parent).
+const NoNode NodeID = -1
+
+// Options configure tree construction.
+type Options struct {
+	// LeafFanout is the maximum number of partitions per leaf node.
+	// Zero means the default of 8.
+	LeafFanout int
+	// NodeFanout is the maximum number of children per internal node.
+	// Zero means the default of 4.
+	NodeFanout int
+	// Vivid enables the leaf-to-ancestor matrices of the VIP-tree. When
+	// false the index is a plain IP-tree: ancestor distance vectors are
+	// derived by climbing one level at a time through the internal
+	// matrices. Both variants return identical distances; Vivid trades
+	// memory for query speed.
+	Vivid bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.LeafFanout == 0 {
+		o.LeafFanout = 8
+	}
+	if o.NodeFanout == 0 {
+		o.NodeFanout = 4
+	}
+	return o
+}
+
+// DefaultOptions returns the standard VIP-tree configuration.
+func DefaultOptions() Options { return Options{LeafFanout: 8, NodeFanout: 4, Vivid: true} }
+
+type node struct {
+	id       NodeID
+	parent   NodeID
+	children []NodeID             // internal nodes only
+	parts    []indoor.PartitionID // leaf nodes only
+	leaf     bool
+
+	doors   []indoor.DoorID // leaf: all doors of its partitions
+	access  []indoor.DoorID // doors connecting the node to the outside
+	doorIdx map[indoor.DoorID]int
+
+	// full is the leaf door × door distance matrix.
+	full [][]float64
+
+	// uDoors is, for internal nodes, the union of the children's access
+	// doors; uMat is the distance matrix over uDoors.
+	uDoors []indoor.DoorID
+	uIdx   map[indoor.DoorID]int
+	uMat   [][]float64
+
+	// anc holds, for leaves of a vivid tree, one matrix per strict
+	// ancestor (ordered parent first): rows are the leaf's doors, columns
+	// the ancestor's access doors.
+	ancIDs []NodeID
+	anc    [][][]float64
+}
+
+// Tree is an immutable IP-/VIP-tree over a venue. Safe for concurrent reads.
+type Tree struct {
+	venue     *indoor.Venue
+	graph     *d2d.Graph
+	graphOnce sync.Once
+	opts      Options
+	nodes     []*node
+	root      NodeID
+	// leafOf maps each partition to its leaf node.
+	leafOf []NodeID
+	// depth of each node; root is 0.
+	depth []int
+	// ancestorAt[l][i] is the depth-i ancestor chain support: implemented
+	// as parent walks, heights are tiny.
+}
+
+// Build constructs the index for venue v.
+func Build(v *indoor.Venue, opts Options) (*Tree, error) {
+	opts = opts.withDefaults()
+	if opts.LeafFanout < 1 || opts.NodeFanout < 2 {
+		return nil, fmt.Errorf("vip: invalid fanouts %d/%d", opts.LeafFanout, opts.NodeFanout)
+	}
+	t := &Tree{venue: v, graph: d2d.New(v), opts: opts}
+	t.buildStructure()
+	t.computeDoorSets()
+	t.fillMatrices()
+	return t, nil
+}
+
+// MustBuild is Build that panics on error.
+func MustBuild(v *indoor.Venue, opts Options) *Tree {
+	t, err := Build(v, opts)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Venue returns the venue the tree indexes.
+func (t *Tree) Venue() *indoor.Venue { return t.venue }
+
+// Graph returns the underlying door-to-door graph (exact oracle, path
+// reconstruction). Trees loaded with Load rebuild it on first use;
+// the rebuild is synchronized, so Graph stays safe for concurrent readers.
+func (t *Tree) Graph() *d2d.Graph {
+	t.graphOnce.Do(func() {
+		if t.graph == nil {
+			t.graph = d2d.New(t.venue)
+		}
+	})
+	return t.graph
+}
+
+// Root returns the root node ID.
+func (t *Tree) Root() NodeID { return t.root }
+
+// Leaf returns the leaf node containing partition p.
+func (t *Tree) Leaf(p indoor.PartitionID) NodeID { return t.leafOf[p] }
+
+// Parent returns n's parent, or NoNode for the root.
+func (t *Tree) Parent(n NodeID) NodeID { return t.nodes[n].parent }
+
+// Children returns n's child node IDs (nil for leaves).
+func (t *Tree) Children(n NodeID) []NodeID { return t.nodes[n].children }
+
+// IsLeaf reports whether n is a leaf node.
+func (t *Tree) IsLeaf(n NodeID) bool { return t.nodes[n].leaf }
+
+// Partitions returns the partitions of leaf node n (nil for internal nodes).
+func (t *Tree) Partitions(n NodeID) []indoor.PartitionID { return t.nodes[n].parts }
+
+// AccessDoors returns n's access doors.
+func (t *Tree) AccessDoors(n NodeID) []indoor.DoorID { return t.nodes[n].access }
+
+// NumNodes returns the total number of tree nodes.
+func (t *Tree) NumNodes() int { return len(t.nodes) }
+
+// Height returns the number of edges from root to leaves.
+func (t *Tree) Height() int {
+	h := 0
+	for _, d := range t.depth {
+		if d > h {
+			h = d
+		}
+	}
+	return h
+}
+
+// Contains reports whether node n's subtree contains partition p.
+func (t *Tree) Contains(n NodeID, p indoor.PartitionID) bool {
+	for c := t.leafOf[p]; c != NoNode; c = t.nodes[c].parent {
+		if c == n {
+			return true
+		}
+	}
+	return false
+}
+
+// childOnPath returns the child of ancestor a on the path to leaf l. a must
+// be a strict ancestor of l.
+func (t *Tree) childOnPath(a NodeID, l NodeID) NodeID {
+	c := l
+	for t.nodes[c].parent != a {
+		c = t.nodes[c].parent
+		if c == NoNode {
+			panic("vip: childOnPath: not an ancestor")
+		}
+	}
+	return c
+}
+
+// buildStructure clusters partitions into leaves and leaves into the node
+// hierarchy by greedy adjacency-respecting BFS merging.
+func (t *Tree) buildStructure() {
+	v := t.venue
+	n := v.NumPartitions()
+	t.leafOf = make([]NodeID, n)
+
+	// Order seeds by door degree descending: hub partitions (corridors)
+	// seed leaves first, which keeps strongly-connected clusters together
+	// — the heuristic role the "vivid" paper assigns to high-connectivity
+	// partitions.
+	order := make([]indoor.PartitionID, n)
+	for i := range order {
+		order[i] = indoor.PartitionID(i)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return len(v.Partition(order[i]).Doors) > len(v.Partition(order[j]).Doors)
+	})
+
+	assigned := make([]bool, n)
+	for _, seed := range order {
+		if assigned[seed] {
+			continue
+		}
+		nd := &node{id: NodeID(len(t.nodes)), parent: NoNode, leaf: true}
+		// BFS from the seed over partition adjacency, taking unassigned
+		// partitions up to the fanout.
+		queue := []indoor.PartitionID{seed}
+		assigned[seed] = true
+		for len(queue) > 0 && len(nd.parts) < t.opts.LeafFanout {
+			p := queue[0]
+			queue = queue[1:]
+			nd.parts = append(nd.parts, p)
+			t.leafOf[p] = nd.id
+			for _, q := range v.AdjacentPartitions(p) {
+				if !assigned[q] && len(nd.parts)+len(queue) < t.opts.LeafFanout {
+					assigned[q] = true
+					queue = append(queue, q)
+				}
+			}
+		}
+		// Partitions still queued were reserved but not placed; place them.
+		for _, p := range queue {
+			nd.parts = append(nd.parts, p)
+			t.leafOf[p] = nd.id
+		}
+		t.nodes = append(t.nodes, nd)
+	}
+
+	// Merge nodes level by level until one remains.
+	current := make([]NodeID, len(t.nodes))
+	for i := range current {
+		current[i] = NodeID(i)
+	}
+	for len(current) > 1 {
+		next := t.mergeLevel(current)
+		if len(next) >= len(current) {
+			panic("vip: merge made no progress")
+		}
+		current = next
+	}
+	t.root = current[0]
+
+	t.depth = make([]int, len(t.nodes))
+	var setDepth func(n NodeID, d int)
+	setDepth = func(n NodeID, d int) {
+		t.depth[n] = d
+		for _, c := range t.nodes[n].children {
+			setDepth(c, d+1)
+		}
+	}
+	setDepth(t.root, 0)
+}
+
+// mergeLevel groups the given sibling candidates into parents by adjacency.
+func (t *Tree) mergeLevel(level []NodeID) []NodeID {
+	// Node adjacency: two nodes are adjacent if a door joins partitions in
+	// each. Build partition -> level-node mapping first.
+	nodeOf := make([]NodeID, t.venue.NumPartitions())
+	for i := range nodeOf {
+		nodeOf[i] = NoNode
+	}
+	for _, id := range level {
+		for _, p := range t.collectParts(id) {
+			nodeOf[p] = id
+		}
+	}
+	adj := make(map[NodeID]map[NodeID]bool, len(level))
+	for _, d := range t.venue.Doors {
+		if d.B == indoor.NoPartition {
+			continue
+		}
+		a, b := nodeOf[d.A], nodeOf[d.B]
+		if a == b || a == NoNode || b == NoNode {
+			continue
+		}
+		if adj[a] == nil {
+			adj[a] = map[NodeID]bool{}
+		}
+		if adj[b] == nil {
+			adj[b] = map[NodeID]bool{}
+		}
+		adj[a][b] = true
+		adj[b][a] = true
+	}
+
+	// Seed by descending adjacency degree, BFS-merge up to NodeFanout.
+	orderIDs := append([]NodeID(nil), level...)
+	sort.SliceStable(orderIDs, func(i, j int) bool {
+		return len(adj[orderIDs[i]]) > len(adj[orderIDs[j]])
+	})
+	merged := make(map[NodeID]bool, len(level))
+	var next []NodeID
+	for _, seed := range orderIDs {
+		if merged[seed] {
+			continue
+		}
+		parent := &node{id: NodeID(len(t.nodes)), parent: NoNode}
+		queue := []NodeID{seed}
+		merged[seed] = true
+		for len(queue) > 0 && len(parent.children) < t.opts.NodeFanout {
+			c := queue[0]
+			queue = queue[1:]
+			parent.children = append(parent.children, c)
+			t.nodes[c].parent = parent.id
+			var neighbors []NodeID
+			for nb := range adj[c] {
+				neighbors = append(neighbors, nb)
+			}
+			sort.Slice(neighbors, func(i, j int) bool { return neighbors[i] < neighbors[j] })
+			for _, nb := range neighbors {
+				if !merged[nb] && len(parent.children)+len(queue) < t.opts.NodeFanout {
+					merged[nb] = true
+					queue = append(queue, nb)
+				}
+			}
+		}
+		for _, c := range queue {
+			parent.children = append(parent.children, c)
+			t.nodes[c].parent = parent.id
+		}
+		if len(parent.children) == 1 && len(orderIDs) > 1 {
+			// A singleton parent adds a useless level; leave the child for
+			// a later seed to absorb — unless nothing absorbed it, in
+			// which case keep the singleton to guarantee progress.
+			child := parent.children[0]
+			t.nodes[child].parent = NoNode
+			merged[child] = false
+			// Try to attach to the last created parent with spare fanout.
+			attached := false
+			for i := len(next) - 1; i >= 0; i-- {
+				pn := t.nodes[next[i]]
+				if len(pn.children) < t.opts.NodeFanout {
+					pn.children = append(pn.children, child)
+					t.nodes[child].parent = pn.id
+					merged[child] = true
+					attached = true
+					break
+				}
+			}
+			if attached {
+				continue
+			}
+			// Re-adopt as singleton to guarantee progress.
+			t.nodes[child].parent = parent.id
+			merged[child] = true
+		}
+		t.nodes = append(t.nodes, parent)
+		next = append(next, parent.id)
+	}
+	return next
+}
+
+// collectParts returns all partitions in n's subtree.
+func (t *Tree) collectParts(id NodeID) []indoor.PartitionID {
+	n := t.nodes[id]
+	if n.leaf {
+		return n.parts
+	}
+	var out []indoor.PartitionID
+	for _, c := range n.children {
+		out = append(out, t.collectParts(c)...)
+	}
+	return out
+}
+
+// computeDoorSets fills doors, access doors, and the uDoors unions.
+func (t *Tree) computeDoorSets() {
+	v := t.venue
+	// inSubtree[n] set of partitions — computed via leafOf + ancestor walk
+	// per door, cheaper than materializing sets.
+	for _, nd := range t.nodes {
+		if !nd.leaf {
+			continue
+		}
+		seen := map[indoor.DoorID]bool{}
+		for _, p := range nd.parts {
+			for _, d := range v.Partition(p).Doors {
+				if !seen[d] {
+					seen[d] = true
+					nd.doors = append(nd.doors, d)
+				}
+			}
+		}
+		sort.Slice(nd.doors, func(i, j int) bool { return nd.doors[i] < nd.doors[j] })
+		nd.doorIdx = make(map[indoor.DoorID]int, len(nd.doors))
+		for i, d := range nd.doors {
+			nd.doorIdx[d] = i
+		}
+	}
+	// Access doors of node n: doors with exactly one side inside n's
+	// subtree (exterior doors lead outside the venue and are not access
+	// doors for indoor routing).
+	for _, nd := range t.nodes {
+		for _, d := range t.nodeDoors(nd.id) {
+			door := v.Door(d)
+			if door.B == indoor.NoPartition {
+				continue
+			}
+			inA := t.Contains(nd.id, door.A)
+			inB := t.Contains(nd.id, door.B)
+			if inA != inB {
+				nd.access = append(nd.access, d)
+			}
+		}
+		sort.Slice(nd.access, func(i, j int) bool { return nd.access[i] < nd.access[j] })
+	}
+	// uDoors for internal nodes.
+	for _, nd := range t.nodes {
+		if nd.leaf {
+			continue
+		}
+		seen := map[indoor.DoorID]bool{}
+		for _, c := range nd.children {
+			for _, d := range t.nodes[c].access {
+				if !seen[d] {
+					seen[d] = true
+					nd.uDoors = append(nd.uDoors, d)
+				}
+			}
+		}
+		sort.Slice(nd.uDoors, func(i, j int) bool { return nd.uDoors[i] < nd.uDoors[j] })
+		nd.uIdx = make(map[indoor.DoorID]int, len(nd.uDoors))
+		for i, d := range nd.uDoors {
+			nd.uIdx[d] = i
+		}
+	}
+}
+
+// nodeDoors returns all doors of n's subtree boundary-or-interior for leaf
+// nodes, and the union of children's doors for internal nodes. Internal
+// nodes only need candidate doors to classify as access doors, and every
+// access door of n is an access door of one of its children, so the union
+// of children's access doors suffices there.
+func (t *Tree) nodeDoors(id NodeID) []indoor.DoorID {
+	n := t.nodes[id]
+	if n.leaf {
+		return n.doors
+	}
+	var out []indoor.DoorID
+	seen := map[indoor.DoorID]bool{}
+	for _, c := range n.children {
+		for _, d := range t.nodes[c].access {
+			if !seen[d] {
+				seen[d] = true
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// fillMatrices runs one Dijkstra per needed source door and slices the
+// results into the per-node matrices.
+func (t *Tree) fillMatrices() {
+	// Which doors are matrix row sources, and where do the rows land?
+	type target struct {
+		mat [][]float64
+		row int
+		col []indoor.DoorID // column door ordering
+	}
+	rowTargets := map[indoor.DoorID][]target{}
+
+	for _, nd := range t.nodes {
+		if nd.leaf {
+			nd.full = alloc(len(nd.doors), len(nd.doors))
+			for i, d := range nd.doors {
+				rowTargets[d] = append(rowTargets[d], target{mat: nd.full, row: i, col: nd.doors})
+			}
+			if t.opts.Vivid {
+				for a := nd.parent; a != NoNode; a = t.nodes[a].parent {
+					an := t.nodes[a]
+					m := alloc(len(nd.doors), len(an.access))
+					nd.ancIDs = append(nd.ancIDs, a)
+					nd.anc = append(nd.anc, m)
+					for i, d := range nd.doors {
+						rowTargets[d] = append(rowTargets[d], target{mat: m, row: i, col: an.access})
+					}
+				}
+			}
+			continue
+		}
+		nd.uMat = alloc(len(nd.uDoors), len(nd.uDoors))
+		for i, d := range nd.uDoors {
+			rowTargets[d] = append(rowTargets[d], target{mat: nd.uMat, row: i, col: nd.uDoors})
+		}
+	}
+
+	for d, targets := range rowTargets {
+		dist := t.graph.FromDoor(d)
+		for _, tg := range targets {
+			for j, cd := range tg.col {
+				tg.mat[tg.row][j] = dist[cd]
+			}
+		}
+	}
+}
+
+func alloc(rows, cols int) [][]float64 {
+	backing := make([]float64, rows*cols)
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i] = backing[i*cols : (i+1)*cols]
+	}
+	return m
+}
+
+// MemoryFootprint returns the approximate number of float64 distance cells
+// stored across all matrices — the index-size metric reported in
+// experiments.
+func (t *Tree) MemoryFootprint() int {
+	cells := 0
+	for _, nd := range t.nodes {
+		if nd.leaf {
+			cells += len(nd.doors) * len(nd.doors)
+			for i := range nd.anc {
+				if len(nd.anc[i]) > 0 {
+					cells += len(nd.anc[i]) * len(nd.anc[i][0])
+				}
+			}
+		} else {
+			cells += len(nd.uDoors) * len(nd.uDoors)
+		}
+	}
+	return cells
+}
+
+// CheckInvariants verifies structural invariants; tests use it.
+func (t *Tree) CheckInvariants() error {
+	seenPart := make([]bool, t.venue.NumPartitions())
+	for id, nd := range t.nodes {
+		if NodeID(id) != nd.id {
+			return fmt.Errorf("node %d has id %d", id, nd.id)
+		}
+		if nd.leaf {
+			if len(nd.parts) == 0 {
+				return fmt.Errorf("leaf %d empty", id)
+			}
+			if len(nd.parts) > t.opts.LeafFanout {
+				return fmt.Errorf("leaf %d overfull: %d partitions", id, len(nd.parts))
+			}
+			for _, p := range nd.parts {
+				if seenPart[p] {
+					return fmt.Errorf("partition %d in two leaves", p)
+				}
+				seenPart[p] = true
+				if t.leafOf[p] != nd.id {
+					return fmt.Errorf("leafOf[%d] = %d, want %d", p, t.leafOf[p], nd.id)
+				}
+			}
+		} else {
+			if len(nd.children) == 0 {
+				return fmt.Errorf("internal node %d childless", id)
+			}
+			for _, c := range nd.children {
+				if t.nodes[c].parent != nd.id {
+					return fmt.Errorf("child %d of %d has parent %d", c, id, t.nodes[c].parent)
+				}
+			}
+		}
+		if nd.id != t.root && nd.parent == NoNode {
+			return fmt.Errorf("non-root node %d orphaned", id)
+		}
+	}
+	for p, s := range seenPart {
+		if !s {
+			return fmt.Errorf("partition %d not in any leaf", p)
+		}
+	}
+	if t.nodes[t.root].parent != NoNode {
+		return fmt.Errorf("root has a parent")
+	}
+	return nil
+}

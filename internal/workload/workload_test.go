@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/indoorspatial/ifls/internal/indoor"
+	"github.com/indoorspatial/ifls/internal/testvenue"
+	"github.com/indoorspatial/ifls/internal/venues"
+)
+
+func TestUniformClientsValid(t *testing.T) {
+	v := testvenue.Grid(testvenue.GridParams{Cols: 8, Levels: 2, InterRoomDoors: true})
+	g := NewGenerator(v)
+	rng := rand.New(rand.NewSource(1))
+	clients := g.Clients(500, Uniform, 0, rng)
+	if len(clients) != 500 {
+		t.Fatalf("generated %d clients", len(clients))
+	}
+	for _, c := range clients {
+		if v.Partition(c.Part).Kind != indoor.Room {
+			t.Fatalf("client %d in non-room partition %d", c.ID, c.Part)
+		}
+		if !v.Partition(c.Part).Rect.Contains(c.Loc) {
+			t.Fatalf("client %d at %v outside partition %d", c.ID, c.Loc, c.Part)
+		}
+	}
+}
+
+func TestNormalClientsValidAndConcentrated(t *testing.T) {
+	v := testvenue.Grid(testvenue.GridParams{Cols: 20, Levels: 1})
+	g := NewGenerator(v)
+	rng := rand.New(rand.NewSource(2))
+	small := g.Clients(800, Normal, 0.125, rng)
+	large := g.Clients(800, Normal, 2.0, rng)
+	bb := v.BoundingBox()
+	cx := (bb.Min.X + bb.Max.X) / 2
+	meanAbs := func(cs []float64) float64 {
+		s := 0.0
+		for _, x := range cs {
+			s += math.Abs(x - cx)
+		}
+		return s / float64(len(cs))
+	}
+	var xsSmall, xsLarge []float64
+	for _, c := range small {
+		if v.Partition(c.Part).Kind != indoor.Room || !v.Partition(c.Part).Rect.Contains(c.Loc) {
+			t.Fatalf("invalid normal client %+v", c)
+		}
+		xsSmall = append(xsSmall, c.Loc.X)
+	}
+	for _, c := range large {
+		xsLarge = append(xsLarge, c.Loc.X)
+	}
+	if meanAbs(xsSmall) >= meanAbs(xsLarge) {
+		t.Errorf("sigma 0.125 spread %v should be below sigma 2.0 spread %v",
+			meanAbs(xsSmall), meanAbs(xsLarge))
+	}
+}
+
+func TestFacilitiesDisjoint(t *testing.T) {
+	v := testvenue.Grid(testvenue.GridParams{Cols: 10, Levels: 2})
+	g := NewGenerator(v)
+	rng := rand.New(rand.NewSource(3))
+	fe, fn := g.Facilities(10, 15, rng)
+	if len(fe) != 10 || len(fn) != 15 {
+		t.Fatalf("sizes %d/%d", len(fe), len(fn))
+	}
+	seen := map[indoor.PartitionID]bool{}
+	for _, f := range append(append([]indoor.PartitionID{}, fe...), fn...) {
+		if seen[f] {
+			t.Fatalf("facility %d selected twice", f)
+		}
+		seen[f] = true
+		if v.Partition(f).Kind != indoor.Room {
+			t.Fatalf("facility %d is not a room", f)
+		}
+	}
+}
+
+func TestFacilitiesPanicsWhenOversized(t *testing.T) {
+	v := testvenue.Corridor3()
+	g := NewGenerator(v)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for oversized selection")
+		}
+	}()
+	g.Facilities(2, 2, rand.New(rand.NewSource(1)))
+}
+
+func TestRealSetting(t *testing.T) {
+	v := venues.MelbourneCentral()
+	g := NewGenerator(v)
+	for _, cat := range venues.Categories {
+		fe, fn, err := g.RealSetting(cat.Name)
+		if err != nil {
+			t.Fatalf("%s: %v", cat.Name, err)
+		}
+		if len(fe) != cat.Count {
+			t.Errorf("%s: %d existing, want %d", cat.Name, len(fe), cat.Count)
+		}
+		if len(fe)+len(fn) != len(v.Rooms()) {
+			t.Errorf("%s: fe+fn = %d, want %d rooms", cat.Name, len(fe)+len(fn), len(v.Rooms()))
+		}
+	}
+	if _, _, err := g.RealSetting("no-such-category"); err == nil {
+		t.Error("expected error for unknown category")
+	}
+}
+
+func TestQueryAssembly(t *testing.T) {
+	v := testvenue.Grid(testvenue.GridParams{Cols: 10, Levels: 2})
+	g := NewGenerator(v)
+	rng := rand.New(rand.NewSource(9))
+	q := g.Query(5, 8, 100, Uniform, 0, rng)
+	if err := q.Validate(v); err != nil {
+		t.Fatalf("assembled query invalid: %v", err)
+	}
+	if len(q.Existing) != 5 || len(q.Candidates) != 8 || len(q.Clients) != 100 {
+		t.Fatalf("sizes %d/%d/%d", len(q.Existing), len(q.Candidates), len(q.Clients))
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	v := testvenue.Grid(testvenue.GridParams{Cols: 10, Levels: 2})
+	g := NewGenerator(v)
+	a := g.Clients(50, Normal, 0.5, rand.New(rand.NewSource(7)))
+	b := g.Clients(50, Normal, 0.5, rand.New(rand.NewSource(7)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("client %d differs across equal seeds", i)
+		}
+	}
+}
+
+func TestDistributionString(t *testing.T) {
+	if Uniform.String() != "uniform" || Normal.String() != "normal" {
+		t.Error("Distribution.String wrong")
+	}
+}
