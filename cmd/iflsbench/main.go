@@ -7,6 +7,13 @@
 //	iflsbench -fig all                 # the full grid (hours at paper scale)
 //	iflsbench -fig 7a -scale 10        # client counts divided by 10
 //	iflsbench -fig 5 -queries 3 -venues MC,CPH
+//	iflsbench -fig parallel -workers 8 # sequential-vs-parallel speedups
+//
+// -workers N selects the worker count for the "parallel" report (tree
+// construction and a 100-query batch, each timed with 1 worker and with N)
+// and also parallelizes index construction for the other figures; the
+// paper figures' query timings themselves stay single-threaded so they
+// remain comparable with the paper. N=0 means all cores.
 package main
 
 import (
@@ -21,10 +28,11 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5, 6, 7a, 7b, 7c, counters, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 5, 6, 7a, 7b, 7c, counters, parallel, or all")
 	scale := flag.Int("scale", 1, "divide all client counts by this factor")
 	queries := flag.Int("queries", bench.QueriesPerCell, "queries averaged per cell")
 	venuesFlag := flag.String("venues", "", "comma-separated venue subset (default all)")
+	workers := flag.Int("workers", 0, "worker count for the parallel report and index builds (0 = all cores)")
 	out := flag.String("out", "", "also append output to this file")
 	csvOut := flag.String("csv", "", "write raw measurements as CSV to this file")
 	flag.Parse()
@@ -46,6 +54,8 @@ func main() {
 	}
 	r := bench.NewRunner()
 	r.Queries = *queries
+	r.Workers = *workers
+	r.Opts.Workers = *workers
 
 	figs := bench.FigureOrder
 	if *fig != "all" {
@@ -70,7 +80,9 @@ func main() {
 		all = append(all, ms...)
 		fmt.Fprintf(w, "(figure %s done in %v)\n", id, time.Since(figStart).Round(time.Second))
 	}
-	fmt.Fprintf(w, "\n%s\n", bench.FormatSpeedups(all))
+	if len(all) > 0 {
+		fmt.Fprintf(w, "\n%s\n", bench.FormatSpeedups(all))
+	}
 	fmt.Fprintf(w, "total: %v\n", time.Since(start).Round(time.Second))
 	if *csvOut != "" {
 		f, err := os.Create(*csvOut)

@@ -125,6 +125,11 @@ type IndexOptions struct {
 	// IPTree disables the VIP-tree's leaf-to-ancestor matrices, building
 	// the smaller but slower IP-tree instead.
 	IPTree bool
+	// Workers bounds the goroutines used to fill the index's distance
+	// matrices during construction. Zero uses all available cores; 1
+	// forces the sequential path. The built index is identical for every
+	// worker count (see ARCHITECTURE.md).
+	Workers int
 }
 
 // Index is a queryable VIP-tree over one venue. Safe for concurrent reads.
@@ -147,6 +152,7 @@ func NewIndexWithOptions(v *Venue, opts IndexOptions) (*Index, error) {
 		o.NodeFanout = opts.NodeFanout
 	}
 	o.Vivid = !opts.IPTree
+	o.Workers = opts.Workers
 	t, err := vip.Build(v, o)
 	if err != nil {
 		return nil, err

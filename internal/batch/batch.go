@@ -1,0 +1,240 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/indoorspatial/ifls/internal/core"
+	"github.com/indoorspatial/ifls/internal/vip"
+)
+
+// Objective selects which solver a batched query runs. Objectives are
+// plain values; copy and compare freely.
+type Objective string
+
+const (
+	// MinMax runs core.Solve, the paper's efficient approach
+	// (Algorithms 2 and 3). It is the zero value's behavior: a Query
+	// with an empty Objective runs MinMax.
+	MinMax Objective = "minmax"
+	// Baseline runs core.SolveBaseline, the modified MinMax algorithm
+	// (Algorithm 1).
+	Baseline Objective = "baseline"
+	// MinDist runs core.SolveMinDist (Section 7 extension).
+	MinDist Objective = "mindist"
+	// MaxSum runs core.SolveMaxSum (Section 7 extension).
+	MaxSum Objective = "maxsum"
+	// TopK runs core.SolveTopK with Query.K.
+	TopK Objective = "topk"
+)
+
+// Query is one unit of batch work: an IFLS query body plus the objective
+// to solve it under. Queries are read-only during Run and may be shared
+// between batches.
+type Query struct {
+	// Objective picks the solver; empty means MinMax.
+	Objective Objective
+	// K is the result count for TopK (ignored otherwise).
+	K int
+	// Query is the IFLS query body. A nil body fails the query with an
+	// error rather than the batch.
+	Query *core.Query
+}
+
+// Result is one query's outcome. Exactly one of the payload fields is
+// populated, selected by the query's objective; Err is set instead when
+// the query failed or was cancelled. A Result is written once by the
+// worker that ran the query and is owned by the caller after Run returns.
+type Result struct {
+	// MinMax holds the answer for MinMax and Baseline queries.
+	MinMax core.Result
+	// Ext holds the answer for MinDist and MaxSum queries.
+	Ext core.ExtResult
+	// TopK holds the answer for TopK queries.
+	TopK []core.RankedCandidate
+	// Err is non-nil when the query did not produce an answer: context
+	// cancellation, a nil query body, an unknown objective, or a
+	// recovered solver panic.
+	Err error
+	// Elapsed is the query's own wall time (zero for cancelled queries).
+	Elapsed time.Duration
+}
+
+// Options configure a batch run. The zero value runs on all cores.
+type Options struct {
+	// Workers bounds the goroutines executing queries. Zero uses all
+	// available cores (runtime.NumCPU); 1 is exactly a sequential loop.
+	Workers int
+}
+
+func (o Options) workerCount() int {
+	if o.Workers <= 0 {
+		return runtime.NumCPU()
+	}
+	return o.Workers
+}
+
+// Counters aggregate a batch's work, mirroring the per-query core.Stats
+// the paper's efficiency argument is built on. They are totals over the
+// queries that ran (cancelled queries contribute nothing). A Counters is a
+// plain value owned by the caller.
+type Counters struct {
+	// Queries is the number of queries that executed (successfully or
+	// with a solver error); cancelled queries are excluded.
+	Queries int
+	// Errors counts queries whose Result.Err is non-nil, including
+	// cancelled ones.
+	Errors int
+	// Found counts queries whose answer improves on the status quo
+	// (Result.Found, ExtResult.Improves, or a non-empty top-k list).
+	Found int
+	// PrunedClients totals core.Stats.PrunedClients — the Lemma 5.1
+	// pruning the paper credits for the efficient approach's speed.
+	PrunedClients int
+	// DistanceCalcs totals core.Stats.DistanceCalcs.
+	DistanceCalcs int
+	// QueuePops totals core.Stats.QueuePops.
+	QueuePops int
+	// Wall is the whole batch's wall-clock time, not the sum of
+	// per-query times; Sequential-vs-parallel speedup is the ratio of
+	// Walls.
+	Wall time.Duration
+}
+
+// Report is the outcome of one batch run, owned by the caller.
+type Report struct {
+	// Results is aligned with the input queries: Results[i] answers
+	// queries[i] regardless of execution order or worker count.
+	Results []Result
+	// Counters aggregates the run.
+	Counters Counters
+}
+
+// Run executes the queries against one shared read-only tree on a bounded
+// worker pool and returns when every query has either finished or been
+// cancelled. See the package documentation for the concurrency model and
+// the error-isolation guarantees. Run returns an error only for invalid
+// arguments (nil tree); per-query failures land in Report.Results[i].Err.
+//
+// Run is safe to call concurrently — even on the same tree — because all
+// mutable state is local to the call.
+func Run(ctx context.Context, t *vip.Tree, queries []Query, opts Options) (*Report, error) {
+	if t == nil {
+		return nil, errors.New("batch: nil tree")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	rep := &Report{Results: make([]Result, len(queries))}
+
+	workers := opts.workerCount()
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Workers claim query indexes from a shared counter; each index is
+	// claimed exactly once, so Results writes are disjoint.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					rep.Results[i] = Result{Err: err}
+					continue
+				}
+				rep.Results[i] = runOne(t, queries[i])
+			}
+		}()
+	}
+	wg.Wait()
+
+	c := &rep.Counters
+	c.Wall = time.Since(start)
+	for i := range rep.Results {
+		r := &rep.Results[i]
+		if r.Err != nil {
+			c.Errors++
+			if ctx.Err() != nil && errors.Is(r.Err, ctx.Err()) {
+				continue // cancelled before running
+			}
+			c.Queries++
+			continue
+		}
+		c.Queries++
+		var st core.Stats
+		switch effectiveObjective(queries[i].Objective) {
+		case MinMax, Baseline:
+			st = r.MinMax.Stats
+			if r.MinMax.Found {
+				c.Found++
+			}
+		case MinDist, MaxSum:
+			st = r.Ext.Stats
+			if r.Ext.Improves {
+				c.Found++
+			}
+		case TopK:
+			if len(r.TopK) > 0 {
+				c.Found++
+			}
+		}
+		c.PrunedClients += st.PrunedClients
+		c.DistanceCalcs += st.DistanceCalcs
+		c.QueuePops += st.QueuePops
+	}
+	return rep, nil
+}
+
+func effectiveObjective(o Objective) Objective {
+	if o == "" {
+		return MinMax
+	}
+	return o
+}
+
+// runOne executes a single query, translating solver panics into errors so
+// one malformed query cannot take down the batch.
+func runOne(t *vip.Tree, q Query) (r Result) {
+	start := time.Now()
+	defer func() {
+		if p := recover(); p != nil {
+			r = Result{Err: fmt.Errorf("batch: solver panic: %v", p)}
+		}
+		r.Elapsed = time.Since(start)
+	}()
+	if q.Query == nil {
+		r.Err = errors.New("batch: nil query body")
+		return r
+	}
+	switch effectiveObjective(q.Objective) {
+	case MinMax:
+		r.MinMax = core.Solve(t, q.Query)
+	case Baseline:
+		r.MinMax = core.SolveBaseline(t, q.Query)
+	case MinDist:
+		r.Ext = core.SolveMinDist(t, q.Query)
+	case MaxSum:
+		r.Ext = core.SolveMaxSum(t, q.Query)
+	case TopK:
+		r.TopK = core.SolveTopK(t, q.Query, q.K)
+	default:
+		r.Err = fmt.Errorf("batch: unknown objective %q", q.Objective)
+	}
+	return r
+}

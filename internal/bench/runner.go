@@ -77,6 +77,11 @@ type Measurement struct {
 // Runner executes experiment cells. It caches venues, their VIP-trees, and
 // workload generators, so repeated cells on the same venue amortize index
 // construction — matching the paper, where Fe is indexed once offline.
+//
+// A Runner is single-goroutine: its caches are plain maps mutated on
+// demand. (The measurements themselves must be serial anyway — concurrent
+// cells would contend for cores and corrupt the timings. The parallel
+// layer is exercised explicitly by the "parallel" figure instead.)
 type Runner struct {
 	// Queries is the number of queries averaged per cell; defaults to
 	// QueriesPerCell.
@@ -84,6 +89,10 @@ type Runner struct {
 	// Opts selects the index configuration; zero value means
 	// vip.DefaultOptions.
 	Opts vip.Options
+	// Workers is the worker count the "parallel" figure compares against
+	// the sequential path; zero means all cores. It does not affect the
+	// paper figures, whose timings are deliberately single-threaded.
+	Workers int
 
 	venuesByName map[string]*indoor.Venue
 	trees        map[string]*vip.Tree

@@ -21,6 +21,9 @@ import (
 // search per client and one standalone point-to-partition distance
 // computation per examined (client, candidate) pair. That per-client cost
 // is exactly the limitation the efficient approach removes.
+//
+// Like Solve, SolveBaseline keeps all state call-local and only reads its
+// arguments; concurrent calls are safe.
 func SolveBaseline(t *vip.Tree, q *Query) Result {
 	m := len(q.Clients)
 	if m == 0 || len(q.Candidates) == 0 {

@@ -7,7 +7,8 @@ import (
 )
 
 // BruteResult extends Result with the exact per-candidate objective values
-// the oracle computed, for test assertions.
+// the oracle computed, for test assertions. A plain value owned by the
+// caller.
 type BruteResult struct {
 	Result
 	// StatusQuo is the objective with no new facility: the maximum over
@@ -23,7 +24,8 @@ type BruteResult struct {
 // distance, from which the objective of each candidate is evaluated
 // directly. It is independent of the VIP-tree code paths, which makes it the
 // correctness oracle for the other solvers, and it doubles as the
-// no-pruning reference point in ablation benchmarks.
+// no-pruning reference point in ablation benchmarks. State is call-local
+// and the graph is immutable; concurrent calls are safe.
 func SolveBrute(g *d2d.Graph, q *Query) BruteResult {
 	m := len(q.Clients)
 	res := BruteResult{Result: noResult()}

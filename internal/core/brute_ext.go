@@ -7,7 +7,8 @@ import (
 	"github.com/indoorspatial/ifls/internal/indoor"
 )
 
-// BruteExtResult is the oracle output for the Section 7 variants.
+// BruteExtResult is the oracle output for the Section 7 variants. A plain
+// value owned by the caller.
 type BruteExtResult struct {
 	Answer indoor.PartitionID
 	// Objective of the best candidate (total distance for MinDist,
@@ -79,7 +80,8 @@ func clientFacilityDistances(g *d2d.Graph, q *Query) (distTo [][]float64, nnExis
 }
 
 // SolveBruteMinDist evaluates the MinDist objective of every candidate
-// exactly on the door-to-door graph.
+// exactly on the door-to-door graph. Call-local state; concurrent calls
+// are safe.
 func SolveBruteMinDist(g *d2d.Graph, q *Query) BruteExtResult {
 	res := BruteExtResult{Answer: indoor.NoPartition, Objective: math.NaN()}
 	if len(q.Clients) == 0 || len(q.Candidates) == 0 {
@@ -110,7 +112,8 @@ func SolveBruteMinDist(g *d2d.Graph, q *Query) BruteExtResult {
 }
 
 // SolveBruteMaxSum evaluates the MaxSum objective of every candidate
-// exactly on the door-to-door graph.
+// exactly on the door-to-door graph. Call-local state; concurrent calls
+// are safe.
 func SolveBruteMaxSum(g *d2d.Graph, q *Query) BruteExtResult {
 	res := BruteExtResult{Answer: indoor.NoPartition, Objective: math.NaN()}
 	if len(q.Clients) == 0 || len(q.Candidates) == 0 {

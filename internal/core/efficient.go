@@ -28,6 +28,10 @@ import (
 //     after each step whether some candidate now covers every remaining
 //     client within d_low. The first covering candidate is the answer and
 //     d_low is the exact objective value.
+//
+// Solve is a pure function over a read-only tree and query: all state is
+// call-local, so concurrent Solve calls (on the same or different trees)
+// are safe without synchronization.
 func Solve(t *vip.Tree, q *Query) Result {
 	s := newEAState(t, q)
 	return s.run()

@@ -9,7 +9,7 @@ import (
 )
 
 // ExtResult is the outcome of a MinDist or MaxSum query (Section 7
-// extensions).
+// extensions). A plain value owned by the caller.
 type ExtResult struct {
 	// Answer is the best candidate, NoPartition when the query has no
 	// clients or no candidates.

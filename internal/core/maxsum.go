@@ -22,6 +22,8 @@ import (
 //
 // and stops when some fully-decided candidate's captured count reaches every
 // other candidate's upper bound (decided captures plus undecided pairs).
+//
+// Call-local state over a read-only tree; concurrent calls are safe.
 func SolveMaxSum(t *vip.Tree, q *Query) ExtResult {
 	if len(q.Clients) == 0 || len(q.Candidates) == 0 {
 		return ExtResult{Answer: indoor.NoPartition, Objective: math.NaN()}

@@ -24,6 +24,8 @@ import (
 //
 // The search stops when some fully-settled candidate's total is no larger
 // than every other candidate's lower bound.
+//
+// Call-local state over a read-only tree; concurrent calls are safe.
 func SolveMinDist(t *vip.Tree, q *Query) ExtResult {
 	if len(q.Clients) == 0 || len(q.Candidates) == 0 {
 		return ExtResult{Answer: indoor.NoPartition, Objective: math.NaN()}

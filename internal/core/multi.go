@@ -9,6 +9,7 @@ import (
 )
 
 // MultiResult is the outcome of selecting several new facilities at once.
+// A plain value owned by the caller.
 type MultiResult struct {
 	// Answers are the chosen candidates in selection order.
 	Answers []indoor.PartitionID
@@ -29,6 +30,10 @@ type MultiResult struct {
 //
 // Selection stops early when no remaining candidate improves the objective;
 // Answers then holds fewer than k entries.
+//
+// The greedy chain runs sequentially inside the call (each round depends
+// on the last), but the call as a whole is state-local like Solve;
+// concurrent calls are safe.
 func SolveGreedyMulti(t *vip.Tree, q *Query, k int) MultiResult {
 	res := MultiResult{}
 	if k <= 0 || len(q.Clients) == 0 || len(q.Candidates) == 0 {
@@ -68,7 +73,8 @@ func SolveGreedyMulti(t *vip.Tree, q *Query, k int) MultiResult {
 
 // SolveBruteMulti computes the exact joint k-facility MinMax optimum by
 // enumerating every size-k candidate subset on the door-to-door graph.
-// Exponential in k; intended for tests and small instances.
+// Exponential in k; intended for tests and small instances. Call-local
+// state; concurrent calls are safe.
 func SolveBruteMulti(g *d2d.Graph, q *Query, k int) MultiResult {
 	res := MultiResult{Objective: math.NaN()}
 	if k <= 0 || len(q.Clients) == 0 || len(q.Candidates) == 0 {

@@ -13,27 +13,34 @@ import (
 // first query warms the cache and subsequent queries skip most of the
 // matrix propagation work.
 //
-// A Session is not safe for concurrent use; use one Session per goroutine
-// (they may share the underlying tree).
+// Concurrency: a Session is a single-goroutine value — every query method
+// reads and grows the shared explorer cache, so no Session method may run
+// concurrently with another on the same Session. Use one Session per
+// goroutine; Sessions may share the underlying tree, which is read-only.
+// For concurrent batches over one tree, use internal/batch (stateless per
+// query) or give each worker its own Session.
 type Session struct {
 	t         *vip.Tree
 	explorers map[indoor.PartitionID]*vip.Explorer
 }
 
-// NewSession creates a Session over an index.
+// NewSession creates a Session over an index. Safe to call concurrently
+// on a shared tree; the returned Session itself is single-goroutine.
 func NewSession(t *vip.Tree) *Session {
 	return &Session{t: t, explorers: make(map[indoor.PartitionID]*vip.Explorer)}
 }
 
 // Solve answers a MinMax IFLS query with the efficient approach, reusing
-// the session's cached distance vectors.
+// the session's cached distance vectors. Single-goroutine, per the
+// Session contract.
 func (s *Session) Solve(q *Query) Result {
 	st := newEAState(s.t, q)
 	st.explorers = s.explorers
 	return st.run()
 }
 
-// SolveTopK is SolveTopK with the session's cache.
+// SolveTopK is SolveTopK with the session's cache. Single-goroutine, per
+// the Session contract.
 func (s *Session) SolveTopK(q *Query, k int) []RankedCandidate {
 	if k <= 0 || len(q.Clients) == 0 || len(q.Candidates) == 0 {
 		return nil
@@ -46,4 +53,5 @@ func (s *Session) SolveTopK(q *Query, k int) []RankedCandidate {
 }
 
 // CachedPartitions reports how many partition explorers the session holds.
+// Single-goroutine, per the Session contract.
 func (s *Session) CachedPartitions() int { return len(s.explorers) }

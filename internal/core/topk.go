@@ -7,7 +7,8 @@ import (
 	"github.com/indoorspatial/ifls/internal/vip"
 )
 
-// RankedCandidate is one entry of a top-k IFLS answer.
+// RankedCandidate is one entry of a top-k IFLS answer. A plain value;
+// copy freely.
 type RankedCandidate struct {
 	Candidate indoor.PartitionID
 	// Objective is the exact MinMax objective the candidate achieves.
@@ -24,6 +25,8 @@ type RankedCandidate struct {
 //
 // Candidates that do not improve on the status quo are not returned, so
 // the result may hold fewer than k entries.
+//
+// Call-local state over a read-only tree; concurrent calls are safe.
 func SolveTopK(t *vip.Tree, q *Query, k int) []RankedCandidate {
 	if k <= 0 || len(q.Clients) == 0 || len(q.Candidates) == 0 {
 		return nil

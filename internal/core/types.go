@@ -1,25 +1,3 @@
-// Package core implements the Indoor Facility Location Selection (IFLS)
-// query of Rayhan et al. (EDBT'23) and the algorithms the paper evaluates:
-//
-//   - Solve — the paper's efficient approach (Algorithms 2 and 3): a single
-//     bottom-up incremental nearest-facility search over one VIP-tree
-//     indexing existing facilities and candidate locations together, with
-//     client grouping by partition, a global distance bound, and client
-//     pruning per Lemma 5.1;
-//   - SolveBaseline — the modified MinMax algorithm (Algorithm 1), the
-//     road-network state of the art (Chen et al., SIGMOD'14) adapted to
-//     indoor space on VIP-tree distance primitives;
-//   - SolveBrute — an exact oracle evaluating the objective for every
-//     candidate on the door-to-door graph, used for correctness testing;
-//   - MinDist and MaxSum variants (Section 7 extensions).
-//
-// The IFLS query: given clients C, existing facilities Fe, and candidate
-// locations Fn (facilities are partitions), return
-//
-//	argmin over n in Fn of  max over c in C of  iDist(c, NN(c, Fe ∪ {n}))
-//
-// i.e. the candidate that minimizes the maximum client-to-nearest-facility
-// indoor distance.
 package core
 
 import (
@@ -30,14 +8,17 @@ import (
 	"github.com/indoorspatial/ifls/internal/indoor"
 )
 
-// Client is a query client: a located indoor point.
+// Client is a query client: a located indoor point. A plain value; copy
+// freely.
 type Client struct {
 	ID   int32
 	Loc  geom.Point
 	Part indoor.PartitionID
 }
 
-// Query is an IFLS query instance over one venue.
+// Query is an IFLS query instance over one venue. Solvers treat a Query
+// as read-only, so one Query may back any number of concurrent solver
+// calls; callers must not mutate it (or its slices) while solvers run.
 type Query struct {
 	// Existing lists the existing facility partitions (Fe).
 	Existing []indoor.PartitionID
@@ -47,7 +28,8 @@ type Query struct {
 	Clients []Client
 }
 
-// Validate checks the query against a venue.
+// Validate checks the query against a venue. Read-only; safe for
+// concurrent use on an unchanging query.
 func (q *Query) Validate(v *indoor.Venue) error {
 	n := indoor.PartitionID(v.NumPartitions())
 	for _, f := range q.Existing {
@@ -72,7 +54,8 @@ func (q *Query) Validate(v *indoor.Venue) error {
 }
 
 // Stats counts the work a solver performed; the paper's efficiency argument
-// is about exactly these quantities.
+// is about exactly these quantities. A plain value owned by the caller that
+// receives it.
 type Stats struct {
 	// DistanceCalcs is the number of exact client-to-facility indoor
 	// distance computations.
@@ -97,7 +80,8 @@ type Stats struct {
 	RetainedBytes int
 }
 
-// Result is the outcome of an IFLS query.
+// Result is the outcome of an IFLS query. A plain value owned by the
+// caller; solvers retain no reference to it.
 type Result struct {
 	// Found reports whether some candidate strictly improves the
 	// objective over the status quo (no new facility). When false, Answer

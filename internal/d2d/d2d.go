@@ -1,13 +1,3 @@
-// Package d2d implements the door-to-door graph of the indoor
-// distance-aware model (Lu, Cao, Jensen — ICDE'12): vertices are doors and
-// an edge joins two doors that border a common partition, weighted by the
-// intra-partition travel distance. Dijkstra over this graph yields exact
-// indoor shortest distances.
-//
-// The package serves two roles in this repository: it is the ground-truth
-// oracle that the VIP-tree distance computations are tested against, and it
-// is the machinery that populates the VIP-tree distance matrices at index
-// construction time.
 package d2d
 
 import (

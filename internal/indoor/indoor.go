@@ -1,16 +1,3 @@
-// Package indoor models an indoor venue the way the indoor query-processing
-// literature does (Lu et al. ICDE'12, Shao et al. VLDB'16): a venue is a set
-// of partitions (rooms, corridors, stairwells) connected by doors. Movement
-// inside a partition is free — the distance between two locations in the same
-// partition is their Euclidean distance — while movement between partitions
-// must pass through the doors that connect them. Stairwells are partitions
-// whose doors lie on different levels; crossing one costs a configurable
-// traversal length instead of a planar distance.
-//
-// The package provides the venue data structure, a builder that validates
-// topology as it assembles a venue, the primitive intra-partition distance
-// functions every index in this repository is built on, and JSON
-// serialization so generated venues can be stored and inspected.
 package indoor
 
 import (

@@ -25,7 +25,12 @@ import (
 // matrices are exact and any path into a node must cross one of its access
 // doors.
 //
-// An Explorer is not safe for concurrent use.
+// Concurrency: an Explorer is a single-goroutine value. Every method —
+// including the read-looking getters — may touch the memo maps, so no
+// Explorer method is safe to call concurrently with any other on the same
+// Explorer. Many Explorers may run in parallel over one shared *Tree;
+// that is exactly how internal/batch parallelizes query batches (one
+// solver state, and hence one set of Explorers, per worker goroutine).
 type Explorer struct {
 	t        *Tree
 	src      indoor.PartitionID
@@ -36,7 +41,9 @@ type Explorer struct {
 	doorVec map[NodeID][][]float64 // leaves: rows × doors(leaf)
 }
 
-// NewExplorer returns an Explorer rooted at source partition src.
+// NewExplorer returns an Explorer rooted at source partition src. Safe to
+// call concurrently on a shared tree; the returned Explorer itself is for
+// a single goroutine.
 func (t *Tree) NewExplorer(src indoor.PartitionID) *Explorer {
 	return &Explorer{
 		t:        t,

@@ -12,6 +12,7 @@ import (
 // points. Each call builds a fresh Explorer, matching the cost profile of
 // the standalone VIP-tree distance computation the baseline algorithm uses;
 // batch workloads should hold an Explorer per source partition instead.
+// Safe for concurrent use (the throwaway Explorer is call-local).
 func (t *Tree) DistPointToPoint(p geom.Point, pp indoor.PartitionID, q geom.Point, qp indoor.PartitionID) float64 {
 	if pp == qp {
 		return t.venue.IntraPointDist(pp, p, q)
@@ -21,7 +22,8 @@ func (t *Tree) DistPointToPoint(p geom.Point, pp indoor.PartitionID, q geom.Poin
 }
 
 // DistPointToPartition returns the exact indoor distance from a located
-// point to partition f (zero when the point is inside f).
+// point to partition f (zero when the point is inside f). Safe for
+// concurrent use.
 func (t *Tree) DistPointToPartition(p geom.Point, pp indoor.PartitionID, f indoor.PartitionID) float64 {
 	if pp == f {
 		return 0
@@ -31,7 +33,8 @@ func (t *Tree) DistPointToPartition(p geom.Point, pp indoor.PartitionID, f indoo
 }
 
 // DistPartitionToPartition returns the exact indoor distance between two
-// partitions (the paper's iMinD for partition entities).
+// partitions (the paper's iMinD for partition entities). Safe for
+// concurrent use.
 func (t *Tree) DistPartitionToPartition(a, b indoor.PartitionID) float64 {
 	if a == b {
 		return 0
@@ -40,7 +43,9 @@ func (t *Tree) DistPartitionToPartition(a, b indoor.PartitionID) float64 {
 }
 
 // FacilitySet marks a subset of partitions as facilities, supporting O(1)
-// membership tests and per-leaf iteration during index searches.
+// membership tests and per-leaf iteration during index searches. A
+// FacilitySet is immutable after NewFacilitySet and safe for concurrent
+// use.
 type FacilitySet struct {
 	member []bool
 	list   []indoor.PartitionID
@@ -58,14 +63,15 @@ func NewFacilitySet(v *indoor.Venue, parts []indoor.PartitionID) *FacilitySet {
 	return fs
 }
 
-// Contains reports whether partition p is a facility.
+// Contains reports whether partition p is a facility. Safe for concurrent
+// use.
 func (fs *FacilitySet) Contains(p indoor.PartitionID) bool { return fs.member[p] }
 
-// Len returns the number of facilities.
+// Len returns the number of facilities. Safe for concurrent use.
 func (fs *FacilitySet) Len() int { return len(fs.list) }
 
-// List returns the facilities in insertion order. Callers must not modify
-// the returned slice.
+// List returns the facilities in insertion order. Safe for concurrent use;
+// callers must not modify the returned slice.
 func (fs *FacilitySet) List() []indoor.PartitionID { return fs.list }
 
 // nnEntry is a priority-queue entry of the top-down NN search: either a tree
@@ -81,7 +87,9 @@ type nnEntry struct {
 // top-down best-first VIP-tree NN search of Shao et al.: nodes enter the
 // queue with exact lower bounds (distance to their nearest access door) and
 // facilities with exact distances, so the first facility dequeued is the
-// answer. Returns (NoPartition, +Inf) when the set is empty.
+// answer. Returns (NoPartition, +Inf) when the set is empty. Safe for
+// concurrent use: the search state is call-local, and the tree and
+// facility set are only read.
 func (t *Tree) NearestFacility(p geom.Point, pp indoor.PartitionID, fs *FacilitySet) (indoor.PartitionID, float64) {
 	if fs.Len() == 0 {
 		return indoor.NoPartition, math.Inf(1)
@@ -116,7 +124,7 @@ func (t *Tree) NearestFacility(p geom.Point, pp indoor.PartitionID, fs *Facility
 
 // KNearestFacilities returns up to k facilities nearest to p in ascending
 // distance order, with their exact distances. A k of zero or less returns
-// nil.
+// nil. Safe for concurrent use.
 func (t *Tree) KNearestFacilities(p geom.Point, pp indoor.PartitionID, fs *FacilitySet, k int) ([]indoor.PartitionID, []float64) {
 	if k <= 0 || fs.Len() == 0 {
 		return nil, nil

@@ -8,7 +8,8 @@ import (
 	"github.com/indoorspatial/ifls/internal/pq"
 )
 
-// RangeResult is one facility returned by a range query.
+// RangeResult is one facility returned by a range query. A plain value;
+// copy freely.
 type RangeResult struct {
 	Facility indoor.PartitionID
 	Dist     float64
@@ -18,6 +19,7 @@ type RangeResult struct {
 // p (inclusive), in ascending distance order. It is the classic range query
 // of the VIP-tree paper: a best-first traversal pruned by each node's
 // minimum distance bound, so subtrees beyond the radius are never opened.
+// Safe for concurrent use.
 func (t *Tree) RangeFacilities(p geom.Point, pp indoor.PartitionID, fs *FacilitySet, r float64) []RangeResult {
 	if fs.Len() == 0 || r < 0 {
 		return nil
@@ -63,7 +65,7 @@ func (t *Tree) RangeFacilities(p geom.Point, pp indoor.PartitionID, fs *Facility
 }
 
 // CountWithin returns the number of facilities within indoor distance r of
-// p — the aggregate form of the range query.
+// p — the aggregate form of the range query. Safe for concurrent use.
 func (t *Tree) CountWithin(p geom.Point, pp indoor.PartitionID, fs *FacilitySet, r float64) int {
 	return len(t.RangeFacilities(p, pp, fs, r))
 }

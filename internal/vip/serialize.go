@@ -46,13 +46,22 @@ type nodeGob struct {
 const gobVersion = 1
 
 // Save serializes the tree. The format is Go-version-independent gob.
+//
+// Save is a read-only operation and is safe to call concurrently with
+// queries on the same tree. Its output is deterministic: two trees built
+// from the same venue with the same fanout/vivid options encode to the
+// same bytes regardless of Options.Workers (the worker count is a
+// build-time knob, not a property of the index, and is cleared before
+// encoding) — tests rely on this to prove parallel construction exact.
 func (t *Tree) Save(w io.Writer) error {
+	opts := t.opts
+	opts.Workers = 0
 	out := treeGob{
 		Version:    gobVersion,
 		VenueName:  t.venue.Name,
 		Partitions: t.venue.NumPartitions(),
 		Doors:      t.venue.NumDoors(),
-		Opts:       t.opts,
+		Opts:       opts,
 		Root:       t.root,
 		LeafOf:     t.leafOf,
 		Depth:      t.depth,
@@ -72,6 +81,12 @@ func (t *Tree) Save(w io.Writer) error {
 // Load restores a tree previously written with Save and binds it to
 // venue v, which must be the same venue the tree was built from (verified
 // by name and by partition/door counts).
+//
+// Like Build, Load fully initializes the tree before returning, so the
+// returned *Tree is immediately safe for concurrent readers. The one
+// exception to eager initialization is the door-to-door graph, which Load
+// drops (it is not serialized); Tree.Graph rebuilds it on first use behind
+// a sync.Once, keeping that path concurrency-safe too.
 func Load(r io.Reader, v *indoor.Venue) (*Tree, error) {
 	var in treeGob
 	if err := gob.NewDecoder(r).Decode(&in); err != nil {

@@ -1,28 +1,8 @@
-// Package vip implements the IP-tree and VIP-tree indoor indexes (Shao,
-// Cheema, Taniar, Lu — PVLDB'16), the state-of-the-art indexes the IFLS
-// paper builds on.
-//
-// The tree is built bottom-up: adjacent partitions merge into leaf nodes,
-// and adjacent nodes merge level by level until a single root remains. Every
-// leaf stores a door-to-door distance matrix over its own doors; every
-// internal node stores a matrix over the union of its children's access
-// doors; and — the "vivid" feature that turns an IP-tree into a VIP-tree —
-// every leaf additionally stores the distances from each of its doors to the
-// access doors of every ancestor, which turns the leaf-to-ancestor climb
-// into a single lookup.
-//
-// Distances stored in the matrices are exact global indoor distances
-// computed on the door-to-door graph at construction time. This differs
-// from the original paper in one deliberate way: the paper stores
-// within-subtree distances plus first-hop doors so paths can be
-// reconstructed by hopping matrices; storing global distances yields the
-// same (exact) distance results with a simpler query path, and shortest
-// *path* reconstruction — which the IFLS algorithms never need — is
-// delegated to the d2d graph.
 package vip
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -30,13 +10,15 @@ import (
 	"github.com/indoorspatial/ifls/internal/indoor"
 )
 
-// NodeID identifies a tree node; dense index into Tree.nodes.
+// NodeID identifies a tree node; dense index into Tree.nodes. NodeIDs are
+// plain values: copy and compare freely from any goroutine.
 type NodeID int32
 
 // NoNode marks the absence of a node (the root's parent).
 const NoNode NodeID = -1
 
-// Options configure tree construction.
+// Options configure tree construction. Options is a plain value; it is
+// read only during Build and never mutated by the tree afterwards.
 type Options struct {
 	// LeafFanout is the maximum number of partitions per leaf node.
 	// Zero means the default of 8.
@@ -50,6 +32,14 @@ type Options struct {
 	// matrices. Both variants return identical distances; Vivid trades
 	// memory for query speed.
 	Vivid bool
+	// Workers bounds the goroutines used to fill the distance matrices
+	// during Build. Zero uses all available cores (runtime.NumCPU); 1
+	// forces the sequential path. The resulting tree is identical — bit
+	// for bit — for every worker count, because each matrix row is
+	// written exactly once by the one worker that owns its source door.
+	// Workers is a build-time knob only: it is not serialized by Save and
+	// has no effect on queries.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -62,7 +52,16 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// DefaultOptions returns the standard VIP-tree configuration.
+// workerCount resolves Workers to a concrete goroutine count.
+func (o Options) workerCount() int {
+	if o.Workers <= 0 {
+		return runtime.NumCPU()
+	}
+	return o.Workers
+}
+
+// DefaultOptions returns the standard VIP-tree configuration: fanouts 8/4,
+// vivid matrices on, and parallel construction on all cores.
 func DefaultOptions() Options { return Options{LeafFanout: 8, NodeFanout: 4, Vivid: true} }
 
 type node struct {
@@ -92,7 +91,15 @@ type node struct {
 	anc    [][][]float64
 }
 
-// Tree is an immutable IP-/VIP-tree over a venue. Safe for concurrent reads.
+// Tree is an immutable IP-/VIP-tree over a venue.
+//
+// Concurrency: a *Tree is safe for unlimited concurrent readers once Build
+// (or Load) has returned — construction is the only phase that mutates it,
+// and Build does not publish the tree until its worker goroutines have been
+// joined, so the returning happens-before edge covers every matrix cell.
+// All query-side state lives in per-caller Explorer values; the tree itself
+// holds no caches mutated by queries. The one lazily-initialized field, the
+// door graph of a Load-ed tree, is guarded by graphOnce (see Graph).
 type Tree struct {
 	venue     *indoor.Venue
 	graph     *d2d.Graph
@@ -108,7 +115,15 @@ type Tree struct {
 	// as parent walks, heights are tiny.
 }
 
-// Build constructs the index for venue v.
+// Build constructs the index for venue v. Construction has three phases:
+// clustering partitions into the node hierarchy, computing per-node door
+// sets, and filling the distance matrices. The first two are cheap and run
+// sequentially; the matrix fill — one Dijkstra per distinct source door,
+// the dominant cost — fans out across opts.Workers goroutines. Build only
+// returns after every worker has finished, so the caller may immediately
+// share the returned *Tree across goroutines. Build itself must not be
+// called concurrently with mutations of v; venues are immutable after
+// indoor.Builder.Build, which makes this automatic.
 func Build(v *indoor.Venue, opts Options) (*Tree, error) {
 	opts = opts.withDefaults()
 	if opts.LeafFanout < 1 || opts.NodeFanout < 2 {
@@ -121,7 +136,8 @@ func Build(v *indoor.Venue, opts Options) (*Tree, error) {
 	return t, nil
 }
 
-// MustBuild is Build that panics on error.
+// MustBuild is Build that panics on error. Its concurrency contract is
+// Build's.
 func MustBuild(v *indoor.Venue, opts Options) *Tree {
 	t, err := Build(v, opts)
 	if err != nil {
@@ -130,7 +146,8 @@ func MustBuild(v *indoor.Venue, opts Options) *Tree {
 	return t
 }
 
-// Venue returns the venue the tree indexes.
+// Venue returns the venue the tree indexes. Safe for concurrent use; the
+// returned venue is immutable.
 func (t *Tree) Venue() *indoor.Venue { return t.venue }
 
 // Graph returns the underlying door-to-door graph (exact oracle, path
@@ -145,31 +162,38 @@ func (t *Tree) Graph() *d2d.Graph {
 	return t.graph
 }
 
-// Root returns the root node ID.
+// Root returns the root node ID. Safe for concurrent use.
 func (t *Tree) Root() NodeID { return t.root }
 
-// Leaf returns the leaf node containing partition p.
+// Leaf returns the leaf node containing partition p. Safe for concurrent
+// use.
 func (t *Tree) Leaf(p indoor.PartitionID) NodeID { return t.leafOf[p] }
 
-// Parent returns n's parent, or NoNode for the root.
+// Parent returns n's parent, or NoNode for the root. Safe for concurrent
+// use.
 func (t *Tree) Parent(n NodeID) NodeID { return t.nodes[n].parent }
 
-// Children returns n's child node IDs (nil for leaves).
+// Children returns n's child node IDs (nil for leaves). Safe for concurrent
+// use; callers must not modify the returned slice.
 func (t *Tree) Children(n NodeID) []NodeID { return t.nodes[n].children }
 
-// IsLeaf reports whether n is a leaf node.
+// IsLeaf reports whether n is a leaf node. Safe for concurrent use.
 func (t *Tree) IsLeaf(n NodeID) bool { return t.nodes[n].leaf }
 
-// Partitions returns the partitions of leaf node n (nil for internal nodes).
+// Partitions returns the partitions of leaf node n (nil for internal
+// nodes). Safe for concurrent use; callers must not modify the returned
+// slice.
 func (t *Tree) Partitions(n NodeID) []indoor.PartitionID { return t.nodes[n].parts }
 
-// AccessDoors returns n's access doors.
+// AccessDoors returns n's access doors. Safe for concurrent use; callers
+// must not modify the returned slice.
 func (t *Tree) AccessDoors(n NodeID) []indoor.DoorID { return t.nodes[n].access }
 
-// NumNodes returns the total number of tree nodes.
+// NumNodes returns the total number of tree nodes. Safe for concurrent use.
 func (t *Tree) NumNodes() int { return len(t.nodes) }
 
-// Height returns the number of edges from root to leaves.
+// Height returns the number of edges from root to leaves. Safe for
+// concurrent use.
 func (t *Tree) Height() int {
 	h := 0
 	for _, d := range t.depth {
@@ -180,7 +204,8 @@ func (t *Tree) Height() int {
 	return h
 }
 
-// Contains reports whether node n's subtree contains partition p.
+// Contains reports whether node n's subtree contains partition p. Safe for
+// concurrent use.
 func (t *Tree) Contains(n NodeID, p indoor.PartitionID) bool {
 	for c := t.leafOf[p]; c != NoNode; c = t.nodes[c].parent {
 		if c == n {
@@ -475,22 +500,34 @@ func (t *Tree) nodeDoors(id NodeID) []indoor.DoorID {
 	return out
 }
 
+// rowTarget records where one source door's Dijkstra results land: row
+// `row` of matrix `mat`, with columns ordered by `col`.
+type rowTarget struct {
+	mat [][]float64
+	row int
+	col []indoor.DoorID // column door ordering
+}
+
 // fillMatrices runs one Dijkstra per needed source door and slices the
-// results into the per-node matrices.
+// results into the per-node matrices — the dominant cost of Build.
+//
+// Because the stored distances are global (not within-subtree as in the
+// original paper), every matrix row depends only on its own source door's
+// Dijkstra: leaf, ancestor, and internal-node rows alike. All fills are
+// therefore mutually independent and fan out in a single level-free wave
+// across the worker pool; no inter-level barrier is needed. Each worker
+// writes disjoint rows (a door owns its rows in every matrix it sources),
+// so the fill is race-free and its result is bit-identical for every
+// worker count.
 func (t *Tree) fillMatrices() {
 	// Which doors are matrix row sources, and where do the rows land?
-	type target struct {
-		mat [][]float64
-		row int
-		col []indoor.DoorID // column door ordering
-	}
-	rowTargets := map[indoor.DoorID][]target{}
+	rowTargets := map[indoor.DoorID][]rowTarget{}
 
 	for _, nd := range t.nodes {
 		if nd.leaf {
 			nd.full = alloc(len(nd.doors), len(nd.doors))
 			for i, d := range nd.doors {
-				rowTargets[d] = append(rowTargets[d], target{mat: nd.full, row: i, col: nd.doors})
+				rowTargets[d] = append(rowTargets[d], rowTarget{mat: nd.full, row: i, col: nd.doors})
 			}
 			if t.opts.Vivid {
 				for a := nd.parent; a != NoNode; a = t.nodes[a].parent {
@@ -499,7 +536,7 @@ func (t *Tree) fillMatrices() {
 					nd.ancIDs = append(nd.ancIDs, a)
 					nd.anc = append(nd.anc, m)
 					for i, d := range nd.doors {
-						rowTargets[d] = append(rowTargets[d], target{mat: m, row: i, col: an.access})
+						rowTargets[d] = append(rowTargets[d], rowTarget{mat: m, row: i, col: an.access})
 					}
 				}
 			}
@@ -507,16 +544,52 @@ func (t *Tree) fillMatrices() {
 		}
 		nd.uMat = alloc(len(nd.uDoors), len(nd.uDoors))
 		for i, d := range nd.uDoors {
-			rowTargets[d] = append(rowTargets[d], target{mat: nd.uMat, row: i, col: nd.uDoors})
+			rowTargets[d] = append(rowTargets[d], rowTarget{mat: nd.uMat, row: i, col: nd.uDoors})
 		}
 	}
 
-	for d, targets := range rowTargets {
-		dist := t.graph.FromDoor(d)
-		for _, tg := range targets {
-			for j, cd := range tg.col {
-				tg.mat[tg.row][j] = dist[cd]
+	doors := make([]indoor.DoorID, 0, len(rowTargets))
+	for d := range rowTargets {
+		doors = append(doors, d)
+	}
+	sort.Slice(doors, func(i, j int) bool { return doors[i] < doors[j] })
+
+	workers := t.opts.workerCount()
+	if workers > len(doors) {
+		workers = len(doors)
+	}
+	if workers <= 1 {
+		for _, d := range doors {
+			t.fillDoorRows(d, rowTargets[d])
+		}
+		return
+	}
+
+	// Static striding keeps the work split deterministic; the per-door
+	// cost is one Dijkstra over the whole door graph, uniform enough that
+	// striding balances as well as a shared counter without the
+	// contention.
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(doors); i += workers {
+				t.fillDoorRows(doors[i], rowTargets[doors[i]])
 			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// fillDoorRows runs the Dijkstra for one source door and writes its rows.
+// Distinct doors write distinct rows, so concurrent calls on distinct doors
+// never touch the same memory.
+func (t *Tree) fillDoorRows(d indoor.DoorID, targets []rowTarget) {
+	dist := t.graph.FromDoor(d)
+	for _, tg := range targets {
+		for j, cd := range tg.col {
+			tg.mat[tg.row][j] = dist[cd]
 		}
 	}
 }
@@ -532,7 +605,7 @@ func alloc(rows, cols int) [][]float64 {
 
 // MemoryFootprint returns the approximate number of float64 distance cells
 // stored across all matrices — the index-size metric reported in
-// experiments.
+// experiments. Safe for concurrent use.
 func (t *Tree) MemoryFootprint() int {
 	cells := 0
 	for _, nd := range t.nodes {
@@ -550,7 +623,8 @@ func (t *Tree) MemoryFootprint() int {
 	return cells
 }
 
-// CheckInvariants verifies structural invariants; tests use it.
+// CheckInvariants verifies structural invariants; tests use it. Safe for
+// concurrent use (read-only).
 func (t *Tree) CheckInvariants() error {
 	seenPart := make([]bool, t.venue.NumPartitions())
 	for id, nd := range t.nodes {
