@@ -61,7 +61,11 @@ var benchDefaults = map[string]struct{ fe, fn int }{
 }
 
 func syntheticQuery(v *ifls.Venue, fe, fn, clients int, dist ifls.Distribution, sigma float64, seed int64) *ifls.Query {
-	return ifls.RandomQuery(v, fe, fn, clients, dist, sigma, seed)
+	q, err := ifls.RandomQuery(v, fe, fn, clients, dist, sigma, seed)
+	if err != nil {
+		panic(err)
+	}
+	return q
 }
 
 func realQuery(b *testing.B, v *ifls.Venue, category string, clients int, dist ifls.Distribution, sigma float64, seed int64) *ifls.Query {
@@ -72,7 +76,11 @@ func realQuery(b *testing.B, v *ifls.Venue, category string, clients int, dist i
 		b.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(seed))
-	return &ifls.Query{Existing: fe, Candidates: fn, Clients: gen.Clients(clients, dist, sigma, rng)}
+	clientSet, err := gen.Clients(clients, dist, sigma, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &ifls.Query{Existing: fe, Candidates: fn, Clients: clientSet}
 }
 
 func runSolver(b *testing.B, ix *ifls.Index, q *ifls.Query, solver string) {

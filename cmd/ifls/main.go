@@ -76,9 +76,17 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		q = &ifls.Query{Existing: fe, Candidates: fn, Clients: gen.Clients(*nClients, d, *sigma, rng)}
+		clients, err := gen.Clients(*nClients, d, *sigma, rng)
+		if err != nil {
+			return err
+		}
+		q = &ifls.Query{Existing: fe, Candidates: fn, Clients: clients}
 	} else {
-		q = gen.Query(*nExist, *nCand, *nClients, d, *sigma, rng)
+		var err error
+		q, err = gen.Query(*nExist, *nCand, *nClients, d, *sigma, rng)
+		if err != nil {
+			return err
+		}
 	}
 	fmt.Printf("query: |Fe|=%d |Fn|=%d |C|=%d dist=%s sigma=%g\n",
 		len(q.Existing), len(q.Candidates), len(q.Clients), d, *sigma)

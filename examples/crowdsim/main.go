@@ -35,7 +35,10 @@ func main() {
 
 	// Existing service points and candidate cart positions.
 	gen := ifls.NewWorkloadGenerator(venue)
-	existing, candidates := gen.Facilities(8, 25, rand.New(rand.NewSource(3)))
+	existing, candidates, err := gen.Facilities(8, 25, rand.New(rand.NewSource(3)))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("venue %q: %d walkers, %d service points, %d candidate cart spots\n\n",
 		venue.Name, 800, len(existing), len(candidates))
 

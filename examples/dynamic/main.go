@@ -40,7 +40,10 @@ func main() {
 	var warmTotal, coldTotal time.Duration
 	for hour, sigma := range sigmas {
 		rng := rand.New(rand.NewSource(int64(hour) + 100))
-		crowd := gen.Clients(3000, ifls.Normal, sigma, rng)
+		crowd, err := gen.Clients(3000, ifls.Normal, sigma, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
 		q := &ifls.Query{Existing: existing, Candidates: candidates, Clients: crowd}
 
 		start := time.Now()

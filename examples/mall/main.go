@@ -35,7 +35,10 @@ func main() {
 
 	// Visitors cluster near the center of the mall (normal distribution).
 	rng := rand.New(rand.NewSource(2023))
-	visitors := gen.Clients(5000, ifls.Normal, 0.5, rng)
+	visitors, err := gen.Clients(5000, ifls.Normal, 0.5, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	ix, err := ifls.NewIndex(venue)
 	if err != nil {

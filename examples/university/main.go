@@ -33,8 +33,14 @@ func main() {
 	gen := ifls.NewWorkloadGenerator(venue)
 	rng := rand.New(rand.NewSource(11))
 	// Six printers exist; twenty rooms could host the next one.
-	existing, candidates := gen.Facilities(6, 20, rng)
-	occupants := gen.Clients(2000, ifls.Uniform, 0, rng)
+	existing, candidates, err := gen.Facilities(6, 20, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	occupants, err := gen.Clients(2000, ifls.Uniform, 0, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Plain distance query between two occupants on different levels.
 	a, b := occupants[0], occupants[1]

@@ -41,15 +41,40 @@
 // MinMax baseline the paper compares against; SolveMinDist and SolveMaxSum
 // are the Section 7 extensions. The Index also answers plain indoor
 // distance and nearest-facility queries.
+//
+// # Errors, cancellation, and failure containment
+//
+// Every solver has a Context variant (SolveContext, SolveBaselineContext,
+// SolveMinDistContext, SolveMaxSumContext, SolveTopKContext,
+// SolveMultiContext; NewIndexContext for construction). The Context variants
+// validate the query first and return errors from a small fixed taxonomy —
+// ErrInvalidQuery, ErrMalformedVenue, ErrCancelled, ErrInvalidWorkload,
+// ErrUnknownObjective, ErrInvalidOptions, ErrSolverPanic — classified with
+// errors.Is:
+//
+//	res, err := ix.SolveContext(ctx, q)
+//	switch {
+//	case errors.Is(err, ifls.ErrCancelled):    // ctx expired; retry later
+//	case errors.Is(err, ifls.ErrInvalidQuery): // reject the request
+//	case errors.Is(err, ifls.ErrSolverPanic):  // contained crash; report
+//	}
+//
+// A cancelled context stops the solver at its next checkpoint and the error
+// also satisfies errors.Is(err, context.Canceled) (or DeadlineExceeded).
+// The plain, non-context methods never panic either: internal panics are
+// recovered at the API boundary and degrade to the zero "not found" result.
 package ifls
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"time"
 
 	"github.com/indoorspatial/ifls/internal/core"
+	"github.com/indoorspatial/ifls/internal/faults"
 	"github.com/indoorspatial/ifls/internal/geom"
 	"github.com/indoorspatial/ifls/internal/indoor"
 	"github.com/indoorspatial/ifls/internal/locate"
@@ -58,6 +83,32 @@ import (
 	"github.com/indoorspatial/ifls/internal/venues"
 	"github.com/indoorspatial/ifls/internal/vip"
 	"github.com/indoorspatial/ifls/internal/workload"
+)
+
+// The error taxonomy, re-exported from the internal faults package. Every
+// error returned by this package wraps exactly one of these sentinels;
+// classify with errors.Is.
+var (
+	// ErrInvalidQuery marks malformed query input: unknown partition IDs,
+	// non-finite or cross-level client coordinates, clients outside their
+	// declared partition, an empty candidate set, or a nil query.
+	ErrInvalidQuery = faults.ErrInvalidQuery
+	// ErrMalformedVenue marks venues that fail structural validation.
+	ErrMalformedVenue = faults.ErrMalformedVenue
+	// ErrCancelled marks early returns forced by context cancellation or
+	// deadline expiry; the context's own error is in the chain too.
+	ErrCancelled = faults.ErrCancelled
+	// ErrInvalidWorkload marks impossible workload-generation requests.
+	ErrInvalidWorkload = faults.ErrInvalidWorkload
+	// ErrUnknownObjective marks requests naming an unknown objective or
+	// solver.
+	ErrUnknownObjective = faults.ErrUnknownObjective
+	// ErrInvalidOptions marks unusable configuration, such as index fanouts
+	// below the structural minimum.
+	ErrInvalidOptions = faults.ErrInvalidOptions
+	// ErrSolverPanic marks a panic recovered at the API boundary; the
+	// failure was contained to the one query that triggered it.
+	ErrSolverPanic = faults.ErrSolverPanic
 )
 
 // Core model types, re-exported from the internal packages.
@@ -144,6 +195,15 @@ func NewIndex(v *Venue) (*Index, error) { return NewIndexWithOptions(v, IndexOpt
 
 // NewIndexWithOptions builds an Index with explicit options.
 func NewIndexWithOptions(v *Venue, opts IndexOptions) (*Index, error) {
+	return NewIndexContext(context.Background(), v, opts)
+}
+
+// NewIndexContext is NewIndexWithOptions with cooperative cancellation:
+// construction's dominant phase (one shortest-path expansion per door) polls
+// the context once per door, so a cancel or deadline abandons the build
+// promptly and returns an error wrapping ErrCancelled. A nil or empty venue
+// yields ErrMalformedVenue; unusable fanouts yield ErrInvalidOptions.
+func NewIndexContext(ctx context.Context, v *Venue, opts IndexOptions) (*Index, error) {
 	o := vip.DefaultOptions()
 	if opts.LeafFanout != 0 {
 		o.LeafFanout = opts.LeafFanout
@@ -153,7 +213,7 @@ func NewIndexWithOptions(v *Venue, opts IndexOptions) (*Index, error) {
 	}
 	o.Vivid = !opts.IPTree
 	o.Workers = opts.Workers
-	t, err := vip.Build(v, o)
+	t, err := vip.BuildContext(ctx, v, o)
 	if err != nil {
 		return nil, err
 	}
@@ -179,28 +239,156 @@ func LoadIndex(r io.Reader, v *Venue) (*Index, error) {
 	return &Index{venue: v, tree: t, locator: locate.New(v)}, nil
 }
 
+// guard runs fn and converts any escaping panic into an ErrSolverPanic
+// error, containing the failure to the calling query. It is the single
+// recovery point for every exported solver entry.
+func guard(fn func()) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = faults.Recovered(p)
+		}
+	}()
+	fn()
+	return nil
+}
+
+// notFound is the degraded result a plain (error-less) solver method returns
+// when a panic was contained: indistinguishable from "no improving
+// candidate", which is the safest answer the signature can express.
+func notFound() Result {
+	return Result{Found: false, Answer: NoPartition, Objective: math.NaN()}
+}
+
+// validated runs Query.Validate against the indexed venue, so every Context
+// solver rejects malformed input with ErrInvalidQuery before touching the
+// tree.
+func (ix *Index) validated(q *Query) error {
+	if q == nil {
+		return fmt.Errorf("%w: nil query", ErrInvalidQuery)
+	}
+	return q.Validate(ix.venue)
+}
+
 // Solve answers a MinMax IFLS query with the paper's efficient approach.
-func (ix *Index) Solve(q *Query) Result { return core.Solve(ix.tree, q) }
+// Solve never panics: a contained internal failure degrades to the
+// "not found" result. Use SolveContext to observe failures as errors.
+func (ix *Index) Solve(q *Query) Result {
+	var r Result
+	if err := guard(func() { r = core.Solve(ix.tree, q) }); err != nil {
+		return notFound()
+	}
+	return r
+}
+
+// SolveContext is Solve with input validation and cooperative cancellation.
+// It rejects malformed queries with ErrInvalidQuery, stops at the next
+// solver checkpoint when ctx is cancelled (ErrCancelled), and converts any
+// internal panic into ErrSolverPanic instead of crashing the caller.
+func (ix *Index) SolveContext(ctx context.Context, q *Query) (r Result, err error) {
+	if err := ix.validated(q); err != nil {
+		return notFound(), err
+	}
+	if gerr := guard(func() { r, err = core.SolveContext(ctx, ix.tree, q) }); gerr != nil {
+		return notFound(), gerr
+	}
+	return r, err
+}
 
 // SolveBaseline answers the query with the modified MinMax baseline
-// (Algorithm 1), provided for comparison and benchmarking.
-func (ix *Index) SolveBaseline(q *Query) Result { return core.SolveBaseline(ix.tree, q) }
+// (Algorithm 1), provided for comparison and benchmarking. Never panics;
+// see Solve.
+func (ix *Index) SolveBaseline(q *Query) Result {
+	var r Result
+	if err := guard(func() { r = core.SolveBaseline(ix.tree, q) }); err != nil {
+		return notFound()
+	}
+	return r
+}
+
+// SolveBaselineContext is SolveBaseline with input validation and
+// cooperative cancellation; see SolveContext for the error contract.
+func (ix *Index) SolveBaselineContext(ctx context.Context, q *Query) (r Result, err error) {
+	if err := ix.validated(q); err != nil {
+		return notFound(), err
+	}
+	if gerr := guard(func() { r, err = core.SolveBaselineContext(ctx, ix.tree, q) }); gerr != nil {
+		return notFound(), gerr
+	}
+	return r, err
+}
 
 // SolveMinDist answers the MinDist variant: the candidate minimizing the
-// total client-to-nearest-facility distance.
-func (ix *Index) SolveMinDist(q *Query) ExtResult { return core.SolveMinDist(ix.tree, q) }
+// total client-to-nearest-facility distance. Never panics; a contained
+// failure degrades to the no-answer ExtResult.
+func (ix *Index) SolveMinDist(q *Query) ExtResult {
+	var r ExtResult
+	if err := guard(func() { r = core.SolveMinDist(ix.tree, q) }); err != nil {
+		return ExtResult{Answer: NoPartition, Objective: math.NaN()}
+	}
+	return r
+}
+
+// SolveMinDistContext is SolveMinDist with input validation and cooperative
+// cancellation; see SolveContext for the error contract.
+func (ix *Index) SolveMinDistContext(ctx context.Context, q *Query) (r ExtResult, err error) {
+	if err := ix.validated(q); err != nil {
+		return ExtResult{Answer: NoPartition, Objective: math.NaN()}, err
+	}
+	if gerr := guard(func() { r, err = core.SolveMinDistContext(ctx, ix.tree, q) }); gerr != nil {
+		return ExtResult{Answer: NoPartition, Objective: math.NaN()}, gerr
+	}
+	return r, err
+}
 
 // SolveMaxSum answers the MaxSum variant: the candidate that captures the
-// most clients.
-func (ix *Index) SolveMaxSum(q *Query) ExtResult { return core.SolveMaxSum(ix.tree, q) }
+// most clients. Never panics; a contained failure degrades to the no-answer
+// ExtResult.
+func (ix *Index) SolveMaxSum(q *Query) ExtResult {
+	var r ExtResult
+	if err := guard(func() { r = core.SolveMaxSum(ix.tree, q) }); err != nil {
+		return ExtResult{Answer: NoPartition, Objective: math.NaN()}
+	}
+	return r
+}
+
+// SolveMaxSumContext is SolveMaxSum with input validation and cooperative
+// cancellation; see SolveContext for the error contract.
+func (ix *Index) SolveMaxSumContext(ctx context.Context, q *Query) (r ExtResult, err error) {
+	if err := ix.validated(q); err != nil {
+		return ExtResult{Answer: NoPartition, Objective: math.NaN()}, err
+	}
+	if gerr := guard(func() { r, err = core.SolveMaxSumContext(ctx, ix.tree, q) }); gerr != nil {
+		return ExtResult{Answer: NoPartition, Objective: math.NaN()}, gerr
+	}
+	return r, err
+}
 
 // RankedCandidate is one entry of a SolveTopK answer.
 type RankedCandidate = core.RankedCandidate
 
 // SolveTopK returns up to k candidates with the smallest MinMax objectives
 // in ascending order, each with its exact objective. Candidates that do not
-// improve on the status quo are omitted.
-func (ix *Index) SolveTopK(q *Query, k int) []RankedCandidate { return core.SolveTopK(ix.tree, q, k) }
+// improve on the status quo are omitted. Never panics; a contained failure
+// degrades to an empty ranking.
+func (ix *Index) SolveTopK(q *Query, k int) []RankedCandidate {
+	var r []RankedCandidate
+	if err := guard(func() { r = core.SolveTopK(ix.tree, q, k) }); err != nil {
+		return nil
+	}
+	return r
+}
+
+// SolveTopKContext is SolveTopK with input validation and cooperative
+// cancellation; see SolveContext for the error contract.
+func (ix *Index) SolveTopKContext(ctx context.Context, q *Query, k int) (r []RankedCandidate, err error) {
+	if err := ix.validated(q); err != nil {
+		return nil, err
+	}
+	if gerr := guard(func() { r, err = core.SolveTopKContext(ctx, ix.tree, q, k) }); gerr != nil {
+		return nil, gerr
+	}
+	return r, err
+}
 
 // MultiResult is the outcome of SolveMulti.
 type MultiResult = core.MultiResult
@@ -208,9 +396,27 @@ type MultiResult = core.MultiResult
 // SolveMulti greedily selects k candidate locations for k new facilities:
 // each round solves a single-facility IFLS query and folds the winner into
 // the existing set. Joint k-facility MinMax selection is NP-hard; the
-// greedy chain is the standard practical approach.
+// greedy chain is the standard practical approach. Never panics; a
+// contained failure degrades to an empty selection.
 func (ix *Index) SolveMulti(q *Query, k int) MultiResult {
-	return core.SolveGreedyMulti(ix.tree, q, k)
+	var r MultiResult
+	if err := guard(func() { r = core.SolveGreedyMulti(ix.tree, q, k) }); err != nil {
+		return MultiResult{Objective: math.NaN()}
+	}
+	return r
+}
+
+// SolveMultiContext is SolveMulti with input validation and cooperative
+// cancellation; the context threads into every greedy round. See
+// SolveContext for the error contract.
+func (ix *Index) SolveMultiContext(ctx context.Context, q *Query, k int) (r MultiResult, err error) {
+	if err := ix.validated(q); err != nil {
+		return MultiResult{Objective: math.NaN()}, err
+	}
+	if gerr := guard(func() { r, err = core.SolveGreedyMultiContext(ctx, ix.tree, q, k) }); gerr != nil {
+		return MultiResult{Objective: math.NaN()}, gerr
+	}
+	return r, err
 }
 
 // Locate returns the partition containing a point, or NoPartition.
@@ -292,11 +498,35 @@ type Session struct{ s *core.Session }
 // NewSession creates a query session over the index.
 func (ix *Index) NewSession() *Session { return &Session{s: core.NewSession(ix.tree)} }
 
-// Solve answers a MinMax IFLS query, reusing the session's caches.
-func (s *Session) Solve(q *Query) Result { return s.s.Solve(q) }
+// Solve answers a MinMax IFLS query, reusing the session's caches. Never
+// panics; a contained failure degrades to the "not found" result.
+func (s *Session) Solve(q *Query) Result {
+	var r Result
+	if err := guard(func() { r = s.s.Solve(q) }); err != nil {
+		return notFound()
+	}
+	return r
+}
 
-// SolveTopK ranks up to k candidates, reusing the session's caches.
-func (s *Session) SolveTopK(q *Query, k int) []RankedCandidate { return s.s.SolveTopK(q, k) }
+// SolveContext is Solve with cooperative cancellation. The session's cache
+// stays consistent on cancellation: distance vectors computed before the
+// cancel remain valid and are reused by later queries.
+func (s *Session) SolveContext(ctx context.Context, q *Query) (r Result, err error) {
+	if gerr := guard(func() { r, err = s.s.SolveContext(ctx, q) }); gerr != nil {
+		return notFound(), gerr
+	}
+	return r, err
+}
+
+// SolveTopK ranks up to k candidates, reusing the session's caches. Never
+// panics; a contained failure degrades to an empty ranking.
+func (s *Session) SolveTopK(q *Query, k int) []RankedCandidate {
+	var r []RankedCandidate
+	if err := guard(func() { r = s.s.SolveTopK(q, k) }); err != nil {
+		return nil
+	}
+	return r
+}
 
 // Neighbor is one entry of a KNearestFacilities or FacilitiesWithin answer.
 type Neighbor struct {
@@ -357,8 +587,13 @@ func (ix *Index) NewTimetable() *Timetable { return temporal.NewTimetable(ix.ven
 // that time cannot be traversed. The computation runs exactly on the masked
 // door graph (the precomputed index assumes static topology), so it costs
 // one Dijkstra per client rather than the indexed solver's shared search.
+// Never panics; a contained failure degrades to the "not found" result.
 func (ix *Index) SolveAt(tt *Timetable, q *Query, at time.Duration) Result {
-	return temporal.SolveAt(ix.tree.Graph(), tt, q, at).Result
+	var r Result
+	if err := guard(func() { r = temporal.SolveAt(ix.tree.Graph(), tt, q, at).Result }); err != nil {
+		return notFound()
+	}
+	return r
 }
 
 // DistanceAt returns the exact indoor distance between two points at a time
@@ -406,8 +641,10 @@ func NewWorkloadGenerator(v *Venue) *WorkloadGenerator { return workload.NewGene
 
 // RandomQuery draws a complete synthetic-setting query: nExist existing
 // facilities and nCand candidates chosen uniformly from rooms, and nClients
-// clients from the given distribution.
-func RandomQuery(v *Venue, nExist, nCand, nClients int, dist Distribution, sigma float64, seed int64) *Query {
+// clients from the given distribution. Impossible requests (more facilities
+// than rooms, an unknown distribution) yield an error wrapping
+// ErrInvalidWorkload.
+func RandomQuery(v *Venue, nExist, nCand, nClients int, dist Distribution, sigma float64, seed int64) (*Query, error) {
 	g := workload.NewGenerator(v)
 	return g.Query(nExist, nCand, nClients, dist, sigma, rand.New(rand.NewSource(seed)))
 }

@@ -140,7 +140,10 @@ func TestPublicRandomQueryAndVariants(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	q := ifls.RandomQuery(v, 10, 15, 200, ifls.Uniform, 0, 42)
+	q, err := ifls.RandomQuery(v, 10, 15, 200, ifls.Uniform, 0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
 	res := ix.Solve(q)
 	md := ix.SolveMinDist(q)
 	ms := ix.SolveMaxSum(q)

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/indoorspatial/ifls/internal/core"
+	"github.com/indoorspatial/ifls/internal/faults"
 	"github.com/indoorspatial/ifls/internal/vip"
 )
 
@@ -58,8 +59,11 @@ type Result struct {
 	// TopK holds the answer for TopK queries.
 	TopK []core.RankedCandidate
 	// Err is non-nil when the query did not produce an answer: context
-	// cancellation, a nil query body, an unknown objective, or a
-	// recovered solver panic.
+	// cancellation, a nil query body, a query that fails validation
+	// against the venue, an unknown objective, or a recovered solver
+	// panic. Err always wraps one of the internal/faults sentinels
+	// (ErrCancelled, ErrInvalidQuery, ErrUnknownObjective, ErrSolverPanic),
+	// so callers classify with errors.Is.
 	Err error
 	// Elapsed is the query's own wall time (zero for cancelled queries).
 	Elapsed time.Duration
@@ -155,10 +159,10 @@ func Run(ctx context.Context, t *vip.Tree, queries []Query, opts Options) (*Repo
 					return
 				}
 				if err := ctx.Err(); err != nil {
-					rep.Results[i] = Result{Err: err}
+					rep.Results[i] = Result{Err: faults.Cancelled(err)}
 					continue
 				}
-				rep.Results[i] = runOne(t, queries[i])
+				rep.Results[i] = runOne(ctx, t, queries[i])
 			}
 		}()
 	}
@@ -170,8 +174,8 @@ func Run(ctx context.Context, t *vip.Tree, queries []Query, opts Options) (*Repo
 		r := &rep.Results[i]
 		if r.Err != nil {
 			c.Errors++
-			if ctx.Err() != nil && errors.Is(r.Err, ctx.Err()) {
-				continue // cancelled before running
+			if errors.Is(r.Err, faults.ErrCancelled) {
+				continue // cancelled (before running or mid-solve)
 			}
 			c.Queries++
 			continue
@@ -208,33 +212,48 @@ func effectiveObjective(o Objective) Objective {
 	return o
 }
 
-// runOne executes a single query, translating solver panics into errors so
-// one malformed query cannot take down the batch.
-func runOne(t *vip.Tree, q Query) (r Result) {
+// testHookRun, when non-nil, runs inside runOne's recovery scope before the
+// solver dispatch. Tests use it to inject panics at a point production input
+// cannot reach (validation rejects realistic panic sources first), proving
+// the containment path without weakening validation.
+var testHookRun func(Query)
+
+// runOne executes a single query inside a recovery scope, so one malformed
+// query cannot take down the batch: validation failures, unknown objectives,
+// cancellation, and recovered solver panics all land in the query's own
+// Result.Err, classified by the faults taxonomy.
+func runOne(ctx context.Context, t *vip.Tree, q Query) (r Result) {
 	start := time.Now()
 	defer func() {
 		if p := recover(); p != nil {
-			r = Result{Err: fmt.Errorf("batch: solver panic: %v", p)}
+			r = Result{Err: faults.Recovered(p)}
 		}
 		r.Elapsed = time.Since(start)
 	}()
+	if testHookRun != nil {
+		testHookRun(q)
+	}
 	if q.Query == nil {
-		r.Err = errors.New("batch: nil query body")
+		r.Err = fmt.Errorf("%w: nil query body", faults.ErrInvalidQuery)
+		return r
+	}
+	if err := q.Query.Validate(t.Venue()); err != nil {
+		r.Err = err
 		return r
 	}
 	switch effectiveObjective(q.Objective) {
 	case MinMax:
-		r.MinMax = core.Solve(t, q.Query)
+		r.MinMax, r.Err = core.SolveContext(ctx, t, q.Query)
 	case Baseline:
-		r.MinMax = core.SolveBaseline(t, q.Query)
+		r.MinMax, r.Err = core.SolveBaselineContext(ctx, t, q.Query)
 	case MinDist:
-		r.Ext = core.SolveMinDist(t, q.Query)
+		r.Ext, r.Err = core.SolveMinDistContext(ctx, t, q.Query)
 	case MaxSum:
-		r.Ext = core.SolveMaxSum(t, q.Query)
+		r.Ext, r.Err = core.SolveMaxSumContext(ctx, t, q.Query)
 	case TopK:
-		r.TopK = core.SolveTopK(t, q.Query, q.K)
+		r.TopK, r.Err = core.SolveTopKContext(ctx, t, q.Query, q.K)
 	default:
-		r.Err = fmt.Errorf("batch: unknown objective %q", q.Objective)
+		r.Err = fmt.Errorf("%w: batch objective %q", faults.ErrUnknownObjective, q.Objective)
 	}
 	return r
 }

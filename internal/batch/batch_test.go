@@ -24,7 +24,10 @@ func fixture(t *testing.T, nQueries int) (*vip.Tree, []Query) {
 	queries := make([]Query, nQueries)
 	for i := range queries {
 		rng := rand.New(rand.NewSource(int64(i) * 7919))
-		q := g.Query(3, 5, 40, workload.Uniform, 0.5, rng)
+		q, err := g.Query(3, 5, 40, workload.Uniform, 0.5, rng)
+		if err != nil {
+			t.Fatalf("workload: %v", err)
+		}
 		queries[i] = Query{Objective: objectives[i%len(objectives)], K: 3, Query: q}
 	}
 	return tree, queries

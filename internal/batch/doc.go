@@ -29,11 +29,19 @@
 //     loop would produce (solvers are deterministic; tests assert
 //     byte-identical results across worker counts).
 //   - A query that fails — panicking solver, unknown objective, missing
-//     query body, or cancellation — records its error in Results[i].Err;
-//     the rest of the batch is unaffected (no partial-batch abort).
-//   - Cancelling the context stops unstarted queries promptly (they record
-//     ctx.Err()); queries already executing run to completion, keeping
-//     every Result either finished or cleanly cancelled.
+//     or invalid query body, or cancellation — records its error in
+//     Results[i].Err; the rest of the batch is unaffected (no
+//     partial-batch abort). Every error wraps an internal/faults
+//     sentinel, so callers classify failures with errors.Is.
+//   - Each query body is validated against the tree's venue before its
+//     solver runs (ErrInvalidQuery on failure), and each worker runs
+//     inside a recover scope: a panic anywhere in a query's execution
+//     becomes that query's own ErrSolverPanic.
+//   - Cancelling the context stops unstarted queries promptly (they
+//     record ErrCancelled wrapping ctx.Err()) and interrupts queries
+//     already executing at their solvers' cancellation checkpoints, so
+//     every Result is either finished or cleanly cancelled. Cancelled
+//     queries count toward Counters.Errors but not Counters.Queries.
 //
 // A Report and its Counters are plain values owned by the caller once Run
 // returns; Run itself may be called concurrently on the same tree.

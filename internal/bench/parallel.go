@@ -77,10 +77,11 @@ func Parallel(w io.Writer, r *Runner, cfg Config) ([]Measurement, error) {
 		queries := make([]batch.Query, ParallelQueries)
 		for i := range queries {
 			rng := rand.New(rand.NewSource(cfg.Seed*100_000 + int64(i)))
-			queries[i] = batch.Query{
-				Objective: batch.MinMax,
-				Query:     g.Query(nExist, nCand, nClients, workload.Uniform, cfg.SigmaDefault, rng),
+			q, err := g.Query(nExist, nCand, nClients, workload.Uniform, cfg.SigmaDefault, rng)
+			if err != nil {
+				return out, err
 			}
+			queries[i] = batch.Query{Objective: batch.MinMax, Query: q}
 		}
 
 		seq, err := batch.Run(context.Background(), tree, queries, batch.Options{Workers: 1})

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/indoorspatial/ifls/internal/core"
+	"github.com/indoorspatial/ifls/internal/faults"
 	"github.com/indoorspatial/ifls/internal/indoor"
 	"github.com/indoorspatial/ifls/internal/venues"
 	"github.com/indoorspatial/ifls/internal/vip"
@@ -172,9 +173,17 @@ func (r *Runner) buildQuery(c Cell, i int) (*core.Query, error) {
 		if err != nil {
 			return nil, err
 		}
-		q = &core.Query{Existing: fe, Candidates: fn, Clients: g.Clients(c.NClients, c.Dist, c.Sigma, rng)}
+		clients, err := g.Clients(c.NClients, c.Dist, c.Sigma, rng)
+		if err != nil {
+			return nil, err
+		}
+		q = &core.Query{Existing: fe, Candidates: fn, Clients: clients}
 	} else {
-		q = g.Query(c.NExist, c.NCand, c.NClients, c.Dist, c.Sigma, rng)
+		var err error
+		q, err = g.Query(c.NExist, c.NCand, c.NClients, c.Dist, c.Sigma, rng)
+		if err != nil {
+			return nil, err
+		}
 	}
 	return q, nil
 }
@@ -193,7 +202,10 @@ func (r *Runner) Run(c Cell, solver Solver) (Measurement, error) {
 		if err != nil {
 			return Measurement{}, err
 		}
-		elapsed, allocMB, res := measure(tree, q, solver)
+		elapsed, allocMB, res, err := measure(tree, q, solver)
+		if err != nil {
+			return Measurement{}, err
+		}
 		totalTime += elapsed
 		totalAlloc += allocMB
 		totalRetained += float64(res.Stats.RetainedBytes) / (1 << 20)
@@ -214,8 +226,10 @@ func (r *Runner) Run(c Cell, solver Solver) (Measurement, error) {
 }
 
 // measure runs one query under one solver, returning elapsed wall time and
-// allocated MB.
-func measure(tree *vip.Tree, q *core.Query, solver Solver) (time.Duration, float64, core.Result) {
+// allocated MB. Naming a solver outside Solvers yields an error wrapping
+// faults.ErrUnknownObjective instead of a panic, so a typo in a figure
+// definition fails the whole run with a message.
+func measure(tree *vip.Tree, q *core.Query, solver Solver) (time.Duration, float64, core.Result, error) {
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
@@ -227,10 +241,10 @@ func measure(tree *vip.Tree, q *core.Query, solver Solver) (time.Duration, float
 	case Baseline:
 		res = core.SolveBaseline(tree, q)
 	default:
-		panic(fmt.Sprintf("bench: unknown solver %q", solver))
+		return 0, 0, core.Result{}, fmt.Errorf("%w: bench solver %q", faults.ErrUnknownObjective, solver)
 	}
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&after)
 	allocMB := float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20)
-	return elapsed, allocMB, res
+	return elapsed, allocMB, res, nil
 }

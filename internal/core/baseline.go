@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sort"
 
+	"github.com/indoorspatial/ifls/internal/faults"
 	"github.com/indoorspatial/ifls/internal/indoor"
 	"github.com/indoorspatial/ifls/internal/vip"
 )
@@ -25,9 +27,33 @@ import (
 // Like Solve, SolveBaseline keeps all state call-local and only reads its
 // arguments; concurrent calls are safe.
 func SolveBaseline(t *vip.Tree, q *Query) Result {
+	r, _ := SolveBaselineContext(context.Background(), t, q)
+	return r
+}
+
+// SolveBaselineContext is SolveBaseline with cooperative cancellation: the
+// context is polled once per client in the NN-search pass (step 1), once per
+// candidate in the initial filter (step 2), once per client in the refinement
+// loop (step 3), and once per surviving candidate in Find_Ans. A cancelled
+// context yields a zero Result and an error wrapping both faults.ErrCancelled
+// and the context's own error. A background (non-cancellable) context adds no
+// work beyond a nil check per checkpoint.
+func SolveBaselineContext(ctx context.Context, t *vip.Tree, q *Query) (Result, error) {
 	m := len(q.Clients)
 	if m == 0 || len(q.Candidates) == 0 {
-		return noResult()
+		return noResult(), nil
+	}
+	// Checkpoints poll ctx.Err() only when the context can be cancelled, so
+	// the background-context path is identical to the plain solver.
+	poll := ctx != nil && ctx.Done() != nil
+	cancelled := func() error {
+		if !poll {
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return faults.Cancelled(err)
+		}
+		return nil
 	}
 	feSet := vip.NewFacilitySet(t.Venue(), q.Existing)
 	res := Result{Answer: indoor.NoPartition}
@@ -40,6 +66,9 @@ func SolveBaseline(t *vip.Tree, q *Query) Result {
 	}
 	ls := make([]entry, m)
 	for i, c := range q.Clients {
+		if err := cancelled(); err != nil {
+			return Result{}, err
+		}
 		_, d := t.NearestFacility(c.Loc, c.Part, feSet)
 		ls[i] = entry{client: i, dist: d}
 		res.Stats.DistanceCalcs++ // the NN search resolves one exact NN distance
@@ -67,6 +96,9 @@ func SolveBaseline(t *vip.Tree, q *Query) Result {
 	// Step 2: initial candidate answer set from the worst-off client.
 	ca := make([]indoor.PartitionID, 0, len(q.Candidates))
 	for _, n := range q.Candidates {
+		if err := cancelled(); err != nil {
+			return Result{}, err
+		}
 		if dist(ls[0].client, n) < ls[0].dist {
 			ca = append(ca, n)
 		}
@@ -77,6 +109,9 @@ func SolveBaseline(t *vip.Tree, q *Query) Result {
 	// Step 3: refinement, one client at a time in descending NN distance.
 	i := 1
 	for i < m && len(ca) > 1 {
+		if err := cancelled(); err != nil {
+			return Result{}, err
+		}
 		caPrev = ca
 		li := ls[i]
 		// Pruning 3a: keep candidates closer to client i than its nearest
@@ -110,11 +145,14 @@ func SolveBaseline(t *vip.Tree, q *Query) Result {
 	if len(ca) == 0 {
 		// No candidate improves even the worst-off client.
 		res.Stats.RetainedBytes = baselineRetained(len(cache), m)
-		return Result{Found: false, Answer: indoor.NoPartition, Objective: math.NaN(), Stats: res.Stats}
+		return Result{Found: false, Answer: indoor.NoPartition, Objective: math.NaN(), Stats: res.Stats}, nil
 	}
 	considered := i
 	best, bestObj := indoor.NoPartition, math.Inf(1)
 	for _, n := range ca {
+		if err := cancelled(); err != nil {
+			return Result{}, err
+		}
 		obj := 0.0
 		for j := 0; j < considered; j++ {
 			d := math.Min(ls[j].dist, dist(ls[j].client, n))
@@ -140,13 +178,13 @@ func SolveBaseline(t *vip.Tree, q *Query) Result {
 	}
 	if bestObj >= ls[0].dist {
 		res.Stats.RetainedBytes = baselineRetained(len(cache), m)
-		return Result{Found: false, Answer: indoor.NoPartition, Objective: math.NaN(), Stats: res.Stats}
+		return Result{Found: false, Answer: indoor.NoPartition, Objective: math.NaN(), Stats: res.Stats}, nil
 	}
 	res.Found = true
 	res.Answer = best
 	res.Objective = bestObj
 	res.Stats.RetainedBytes = baselineRetained(len(cache), m)
-	return res
+	return res, nil
 }
 
 // baselineRetained estimates the baseline's simultaneously-held state: the

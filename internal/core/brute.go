@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"github.com/indoorspatial/ifls/internal/d2d"
@@ -27,6 +28,15 @@ type BruteResult struct {
 // no-pruning reference point in ablation benchmarks. State is call-local
 // and the graph is immutable; concurrent calls are safe.
 func SolveBrute(g *d2d.Graph, q *Query) BruteResult {
+	r, _ := SolveBruteContext(context.Background(), g, q)
+	return r
+}
+
+// SolveBruteContext is SolveBrute with cooperative cancellation: the context
+// is polled once per client partition while the distance matrix fills (the
+// dominant cost). A cancelled context yields a zero BruteResult and an error
+// wrapping both faults.ErrCancelled and the context's own error.
+func SolveBruteContext(ctx context.Context, g *d2d.Graph, q *Query) (BruteResult, error) {
 	m := len(q.Clients)
 	res := BruteResult{Result: noResult()}
 	res.Objectives = make([]float64, len(q.Candidates))
@@ -34,9 +44,12 @@ func SolveBrute(g *d2d.Graph, q *Query) BruteResult {
 		// With no clients every candidate trivially achieves objective 0;
 		// no candidate strictly improves the (empty) status quo.
 		res.StatusQuo = 0
-		return res
+		return res, nil
 	}
-	distTo, nnExist := clientFacilityDistances(g, q)
+	distTo, nnExist, err := clientFacilityDistancesContext(ctx, g, q)
+	if err != nil {
+		return BruteResult{}, err
+	}
 	statusQuo := 0.0
 	for _, d := range nnExist {
 		if d > statusQuo {
@@ -66,5 +79,5 @@ func SolveBrute(g *d2d.Graph, q *Query) BruteResult {
 		res.Objective = bestObj
 	}
 	res.Stats.DistanceCalcs = m * (len(q.Existing) + len(q.Candidates))
-	return res
+	return res, nil
 }

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"math"
 
+	"github.com/indoorspatial/ifls/internal/faults"
 	"github.com/indoorspatial/ifls/internal/indoor"
 	"github.com/indoorspatial/ifls/internal/pq"
 	"github.com/indoorspatial/ifls/internal/vip"
@@ -32,8 +34,25 @@ import (
 // Solve is a pure function over a read-only tree and query: all state is
 // call-local, so concurrent Solve calls (on the same or different trees)
 // are safe without synchronization.
+//
+// Solve is the non-cancellable entry point: it is SolveContext with a
+// background context, which skips every cancellation checkpoint, so its
+// results and work counters are bit-identical to the pre-context solver.
 func Solve(t *vip.Tree, q *Query) Result {
 	s := newEAState(t, q)
+	r, _ := s.run()
+	return r
+}
+
+// SolveContext is Solve with cooperative cancellation: the traversal checks
+// ctx at every queue dequeue and every d_low step, so a cancel or deadline
+// returns a faults.Cancelled error (wrapping ctx.Err()) within a bounded
+// number of per-partition retrievals. The partial Result is discarded.
+// SolveContext does not validate the query; the serving layer (package ifls
+// and internal/batch) runs Query.Validate before solving.
+func SolveContext(ctx context.Context, t *vip.Tree, q *Query) (Result, error) {
+	s := newEAState(t, q)
+	s.bindContext(ctx)
 	return s.run()
 }
 
@@ -102,6 +121,13 @@ type eaState struct {
 	gd, dlow float64
 	isFirst  bool
 
+	// ctx is non-nil only for the Context entry points and only when the
+	// context is cancellable (ctx.Done() != nil); checkpoints are skipped
+	// entirely otherwise, keeping the plain wrappers on the exact
+	// pre-context code path. err records the first observed cancellation.
+	ctx context.Context
+	err error
+
 	// Top-k mode (SolveTopK): when topK > 0 the run records every
 	// covering candidate with its exact objective instead of stopping at
 	// the first.
@@ -154,6 +180,32 @@ func newEAState(t *vip.Tree, q *Query) *eaState {
 		s.candDist[i] = make(map[indoor.PartitionID]float64)
 	}
 	return s
+}
+
+// bindContext arms the cancellation checkpoints. Background-like contexts
+// (Done() == nil) are not stored: they can never cancel, so the run skips
+// checkpoint work entirely.
+func (s *eaState) bindContext(ctx context.Context) {
+	if ctx != nil && ctx.Done() != nil {
+		s.ctx = ctx
+	}
+}
+
+// cancelled is the cancellation checkpoint: it polls the bound context and
+// latches the first error into s.err. With no cancellable context bound it
+// is a single nil comparison.
+func (s *eaState) cancelled() bool {
+	if s.ctx == nil {
+		return false
+	}
+	if s.err != nil {
+		return true
+	}
+	if err := s.ctx.Err(); err != nil {
+		s.err = faults.Cancelled(err)
+		return true
+	}
+	return false
 }
 
 func (s *eaState) explorer(p indoor.PartitionID) *vip.Explorer {
@@ -341,10 +393,13 @@ func (s *eaState) step() bool {
 	return false
 }
 
-func (s *eaState) run() Result {
+func (s *eaState) run() (Result, error) {
 	q := s.q
 	if len(q.Clients) == 0 || len(q.Candidates) == 0 {
-		return noResult()
+		return noResult(), nil
+	}
+	if s.cancelled() {
+		return Result{}, s.err
 	}
 
 	// Algorithm 2 preamble: a client inside a facility partition retrieves
@@ -369,7 +424,7 @@ func (s *eaState) run() Result {
 	if s.isFirst {
 		s.drainEvents(0)
 		if r, done := s.answerCheck(); done {
-			return r
+			return r, nil
 		}
 	}
 
@@ -385,6 +440,9 @@ func (s *eaState) run() Result {
 	}
 
 	for !s.queue.Empty() {
+		if s.cancelled() {
+			return Result{}, s.err
+		}
 		entry, prio := s.queue.Pop()
 		s.res.Stats.QueuePops++
 		s.gd = prio
@@ -396,6 +454,9 @@ func (s *eaState) run() Result {
 		for !s.queue.Empty() {
 			if _, np := s.queue.Peek(); np > prio {
 				break
+			}
+			if s.cancelled() {
+				return Result{}, s.err
 			}
 			e2, _ := s.queue.Pop()
 			s.res.Stats.QueuePops++
@@ -412,14 +473,17 @@ func (s *eaState) run() Result {
 			s.drainEvents(s.gd)
 			s.dlow = s.gd
 			if s.activeCount == 0 {
-				return s.finish(indoor.NoPartition)
+				return s.finish(indoor.NoPartition), nil
 			}
 			continue
 		}
 		for s.step() {
+			if s.cancelled() {
+				return Result{}, s.err
+			}
 			s.prune(s.dlow)
 			if r, done := s.answerCheck(); done {
-				return r
+				return r, nil
 			}
 		}
 	}
@@ -431,13 +495,16 @@ func (s *eaState) run() Result {
 		s.isFirst = s.checkList(s.gd)
 	}
 	for s.step() {
+		if s.cancelled() {
+			return Result{}, s.err
+		}
 		s.prune(s.dlow)
 		if r, done := s.answerCheck(); done {
-			return r
+			return r, nil
 		}
 	}
 	s.prune(math.Inf(1))
-	return s.finish(indoor.NoPartition)
+	return s.finish(indoor.NoPartition), nil
 }
 
 // answerCheck evaluates the stop condition at the current d_low: in normal

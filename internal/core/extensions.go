@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"math"
 
+	"github.com/indoorspatial/ifls/internal/faults"
 	"github.com/indoorspatial/ifls/internal/indoor"
 	"github.com/indoorspatial/ifls/internal/pq"
 	"github.com/indoorspatial/ifls/internal/vip"
@@ -70,6 +72,12 @@ type extState struct {
 	// advance.
 	pruneHeap *pq.Queue[int]
 	gd        float64
+
+	// ctx/err mirror eaState's cancellation checkpoints: ctx is non-nil
+	// only for cancellable contexts, and err latches the first observed
+	// cancellation.
+	ctx context.Context
+	err error
 }
 
 func newExtState(t *vip.Tree, q *Query, obj extObjective, stats *Stats) *extState {
@@ -105,6 +113,28 @@ func newExtState(t *vip.Tree, q *Query, obj extObjective, stats *Stats) *extStat
 		s.bestExist[i] = math.Inf(1)
 	}
 	return s
+}
+
+// bindContext arms the cancellation checkpoints; see eaState.bindContext.
+func (s *extState) bindContext(ctx context.Context) {
+	if ctx != nil && ctx.Done() != nil {
+		s.ctx = ctx
+	}
+}
+
+// cancelled polls the bound context, latching the first error into s.err.
+func (s *extState) cancelled() bool {
+	if s.ctx == nil {
+		return false
+	}
+	if s.err != nil {
+		return true
+	}
+	if err := s.ctx.Err(); err != nil {
+		s.err = faults.Cancelled(err)
+		return true
+	}
+	return false
 }
 
 func (s *extState) explorer(p indoor.PartitionID) *vip.Explorer {
@@ -214,9 +244,13 @@ func (s *extState) retainedBytes() int {
 }
 
 // run drives the traversal until the objective declares an answer. It
-// returns the winning candidate index.
-func (s *extState) run() int {
+// returns the winning candidate index, or an error when the bound context
+// was cancelled mid-traversal.
+func (s *extState) run() (int, error) {
 	q := s.q
+	if s.cancelled() {
+		return -1, s.err
+	}
 	// Preamble: clients inside facility partitions.
 	for ci, c := range q.Clients {
 		if s.isExist[c.Part] {
@@ -236,7 +270,7 @@ func (s *extState) run() int {
 	}
 	s.obj.boundAdvanced(0)
 	if k, ok := s.obj.answer(0); ok {
-		return k
+		return k, nil
 	}
 	for p, clients := range s.byPart {
 		if len(clients) == 0 {
@@ -247,6 +281,9 @@ func (s *extState) run() int {
 		s.queue.Push(eaEntry{part: p, node: leaf}, 0)
 	}
 	for !s.queue.Empty() {
+		if s.cancelled() {
+			return -1, s.err
+		}
 		entry, prio := s.queue.Pop()
 		s.res.QueuePops++
 		s.gd = prio
@@ -257,6 +294,9 @@ func (s *extState) run() int {
 			if _, np := s.queue.Peek(); np > prio {
 				break
 			}
+			if s.cancelled() {
+				return -1, s.err
+			}
 			e2, _ := s.queue.Pop()
 			s.res.QueuePops++
 			if len(s.byPart[e2.part]) > 0 {
@@ -266,7 +306,7 @@ func (s *extState) run() int {
 		s.prune(s.gd)
 		s.obj.boundAdvanced(s.gd)
 		if k, ok := s.obj.answer(s.gd); ok {
-			return k
+			return k, nil
 		}
 	}
 	// Everything retrieved: settle all remaining clients and decide.
@@ -274,5 +314,5 @@ func (s *extState) run() int {
 	s.prune(s.gd)
 	s.obj.boundAdvanced(s.gd)
 	k, _ := s.obj.answer(s.gd)
-	return k
+	return k, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"github.com/indoorspatial/ifls/internal/indoor"
@@ -25,14 +26,26 @@ import (
 //
 // Call-local state over a read-only tree; concurrent calls are safe.
 func SolveMaxSum(t *vip.Tree, q *Query) ExtResult {
+	r, _ := SolveMaxSumContext(context.Background(), t, q)
+	return r
+}
+
+// SolveMaxSumContext is SolveMaxSum with cooperative cancellation; see
+// SolveContext for the checkpoint contract. Partial counts are discarded on
+// cancellation.
+func SolveMaxSumContext(ctx context.Context, t *vip.Tree, q *Query) (ExtResult, error) {
 	if len(q.Clients) == 0 || len(q.Candidates) == 0 {
-		return ExtResult{Answer: indoor.NoPartition, Objective: math.NaN()}
+		return ExtResult{Answer: indoor.NoPartition, Objective: math.NaN()}, nil
 	}
 	res := ExtResult{}
 	obj := newMaxSumObj(len(q.Clients))
 	s := newExtState(t, q, obj, &res.Stats)
+	s.bindContext(ctx)
 	obj.init(len(s.cands))
-	k := s.run()
+	k, err := s.run()
+	if err != nil {
+		return ExtResult{}, err
+	}
 	res.Answer = s.cands[k]
 	res.Objective = float64(obj.captured[k])
 	res.Improves = obj.captured[k] > 0
@@ -41,7 +54,7 @@ func SolveMaxSum(t *vip.Tree, q *Query) ExtResult {
 		retained += len(obj.candDist[ci])*48 + len(obj.pairDone[ci])*16
 	}
 	res.Stats.RetainedBytes = retained
-	return res
+	return res, nil
 }
 
 type maxSumObj struct {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"github.com/indoorspatial/ifls/internal/indoor"
@@ -27,14 +28,26 @@ import (
 //
 // Call-local state over a read-only tree; concurrent calls are safe.
 func SolveMinDist(t *vip.Tree, q *Query) ExtResult {
+	r, _ := SolveMinDistContext(context.Background(), t, q)
+	return r
+}
+
+// SolveMinDistContext is SolveMinDist with cooperative cancellation; see
+// SolveContext for the checkpoint contract. Partial totals are discarded on
+// cancellation.
+func SolveMinDistContext(ctx context.Context, t *vip.Tree, q *Query) (ExtResult, error) {
 	if len(q.Clients) == 0 || len(q.Candidates) == 0 {
-		return ExtResult{Answer: indoor.NoPartition, Objective: math.NaN()}
+		return ExtResult{Answer: indoor.NoPartition, Objective: math.NaN()}, nil
 	}
 	res := ExtResult{}
 	obj := newMinDistObj(len(q.Clients))
 	s := newExtState(t, q, obj, &res.Stats)
+	s.bindContext(ctx)
 	obj.init(len(s.cands))
-	k := s.run()
+	k, err := s.run()
+	if err != nil {
+		return ExtResult{}, err
+	}
 	res.Answer = s.cands[k]
 	res.Objective = obj.sumExact[k]
 	res.Improves = obj.capturedAny[k]
@@ -43,7 +56,7 @@ func SolveMinDist(t *vip.Tree, q *Query) ExtResult {
 		retained += len(obj.candDist[ci])*48 + len(obj.pairSettled[ci])*16
 	}
 	res.Stats.RetainedBytes = retained
-	return res
+	return res, nil
 }
 
 type pendPair struct {

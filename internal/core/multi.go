@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"github.com/indoorspatial/ifls/internal/d2d"
@@ -35,16 +36,28 @@ type MultiResult struct {
 // on the last), but the call as a whole is state-local like Solve;
 // concurrent calls are safe.
 func SolveGreedyMulti(t *vip.Tree, q *Query, k int) MultiResult {
+	r, _ := SolveGreedyMultiContext(context.Background(), t, q, k)
+	return r
+}
+
+// SolveGreedyMultiContext is SolveGreedyMulti with cooperative cancellation:
+// the context is threaded into each round's single-facility solve, so a
+// cancel takes effect at that solver's checkpoint granularity. The partial
+// selection chain is discarded on cancellation.
+func SolveGreedyMultiContext(ctx context.Context, t *vip.Tree, q *Query, k int) (MultiResult, error) {
 	res := MultiResult{}
 	if k <= 0 || len(q.Clients) == 0 || len(q.Candidates) == 0 {
 		res.Objective = math.NaN()
-		return res
+		return res, nil
 	}
 	existing := append([]indoor.PartitionID(nil), q.Existing...)
 	remaining := append([]indoor.PartitionID(nil), q.Candidates...)
 	for round := 0; round < k && len(remaining) > 0; round++ {
 		sub := &Query{Existing: existing, Candidates: remaining, Clients: q.Clients}
-		r := Solve(t, sub)
+		r, err := SolveContext(ctx, t, sub)
+		if err != nil {
+			return MultiResult{}, err
+		}
 		res.Stats.DistanceCalcs += r.Stats.DistanceCalcs
 		res.Stats.Retrievals += r.Stats.Retrievals
 		res.Stats.QueuePops += r.Stats.QueuePops
@@ -68,7 +81,7 @@ func SolveGreedyMulti(t *vip.Tree, q *Query, k int) MultiResult {
 	} else {
 		res.Objective = math.NaN()
 	}
-	return res
+	return res, nil
 }
 
 // SolveBruteMulti computes the exact joint k-facility MinMax optimum by

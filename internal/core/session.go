@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"github.com/indoorspatial/ifls/internal/indoor"
 	"github.com/indoorspatial/ifls/internal/vip"
 )
@@ -34,8 +36,19 @@ func NewSession(t *vip.Tree) *Session {
 // the session's cached distance vectors. Single-goroutine, per the
 // Session contract.
 func (s *Session) Solve(q *Query) Result {
+	r, _ := s.SolveContext(context.Background(), q)
+	return r
+}
+
+// SolveContext is Solve with cooperative cancellation (see the package
+// SolveContext for the checkpoint contract). The explorer cache stays
+// consistent on cancellation — entries computed before the cancel remain
+// valid and are reused by later queries. Single-goroutine, per the Session
+// contract.
+func (s *Session) SolveContext(ctx context.Context, q *Query) (Result, error) {
 	st := newEAState(s.t, q)
 	st.explorers = s.explorers
+	st.bindContext(ctx)
 	return st.run()
 }
 

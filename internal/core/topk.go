@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"github.com/indoorspatial/ifls/internal/indoor"
@@ -28,13 +29,24 @@ type RankedCandidate struct {
 //
 // Call-local state over a read-only tree; concurrent calls are safe.
 func SolveTopK(t *vip.Tree, q *Query, k int) []RankedCandidate {
+	r, _ := SolveTopKContext(context.Background(), t, q, k)
+	return r
+}
+
+// SolveTopKContext is SolveTopK with cooperative cancellation; see
+// SolveContext for the checkpoint contract. The partial ranking is
+// discarded on cancellation.
+func SolveTopKContext(ctx context.Context, t *vip.Tree, q *Query, k int) ([]RankedCandidate, error) {
 	if k <= 0 || len(q.Clients) == 0 || len(q.Candidates) == 0 {
-		return nil
+		return nil, nil
 	}
 	s := newEAState(t, q)
+	s.bindContext(ctx)
 	s.topK = k
-	s.run()
-	return finishTopK(s, k)
+	if _, err := s.run(); err != nil {
+		return nil, err
+	}
+	return finishTopK(s, k), nil
 }
 
 func finishTopK(s *eaState, k int) []RankedCandidate {

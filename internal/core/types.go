@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/indoorspatial/ifls/internal/faults"
 	"github.com/indoorspatial/ifls/internal/geom"
 	"github.com/indoorspatial/ifls/internal/indoor"
 )
@@ -28,26 +29,51 @@ type Query struct {
 	Clients []Client
 }
 
-// Validate checks the query against a venue. Read-only; safe for
-// concurrent use on an unchanging query.
+// Validate checks the query against a venue. Every failure wraps
+// faults.ErrInvalidQuery, so callers can classify with errors.Is while the
+// message pinpoints the offending field. Read-only; safe for concurrent use
+// on an unchanging query.
+//
+// Validation rejects: a nil query or venue, unknown (out-of-range) partition
+// IDs in any of the three sets, an empty candidate set when clients exist
+// (the query cannot name an answer), non-finite client coordinates, clients
+// whose coordinate level disagrees with their partition's level, and clients
+// located outside their declared partition.
 func (q *Query) Validate(v *indoor.Venue) error {
+	if q == nil {
+		return fmt.Errorf("%w: nil query", faults.ErrInvalidQuery)
+	}
+	if v == nil {
+		return fmt.Errorf("%w: nil venue", faults.ErrInvalidQuery)
+	}
 	n := indoor.PartitionID(v.NumPartitions())
 	for _, f := range q.Existing {
 		if f < 0 || f >= n {
-			return fmt.Errorf("core: existing facility %d out of range", f)
+			return fmt.Errorf("%w: existing facility %d out of range [0,%d)", faults.ErrInvalidQuery, f, n)
 		}
+	}
+	if len(q.Clients) > 0 && len(q.Candidates) == 0 {
+		return fmt.Errorf("%w: no candidate locations", faults.ErrInvalidQuery)
 	}
 	for _, f := range q.Candidates {
 		if f < 0 || f >= n {
-			return fmt.Errorf("core: candidate %d out of range", f)
+			return fmt.Errorf("%w: candidate %d out of range [0,%d)", faults.ErrInvalidQuery, f, n)
 		}
 	}
 	for _, c := range q.Clients {
 		if c.Part < 0 || c.Part >= n {
-			return fmt.Errorf("core: client %d partition %d out of range", c.ID, c.Part)
+			return fmt.Errorf("%w: client %d partition %d out of range [0,%d)", faults.ErrInvalidQuery, c.ID, c.Part, n)
 		}
-		if !v.Partition(c.Part).Rect.Contains(c.Loc) {
-			return fmt.Errorf("core: client %d at %v outside its partition %d", c.ID, c.Loc, c.Part)
+		if math.IsNaN(c.Loc.X) || math.IsNaN(c.Loc.Y) || math.IsInf(c.Loc.X, 0) || math.IsInf(c.Loc.Y, 0) {
+			return fmt.Errorf("%w: client %d has non-finite coordinates %v", faults.ErrInvalidQuery, c.ID, c.Loc)
+		}
+		rect := v.Partition(c.Part).Rect
+		if c.Loc.Level != rect.Level() {
+			return fmt.Errorf("%w: client %d on level %d but partition %d is on level %d",
+				faults.ErrInvalidQuery, c.ID, c.Loc.Level, c.Part, rect.Level())
+		}
+		if !rect.Contains(c.Loc) {
+			return fmt.Errorf("%w: client %d at %v outside its partition %d", faults.ErrInvalidQuery, c.ID, c.Loc, c.Part)
 		}
 	}
 	return nil

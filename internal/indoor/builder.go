@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/indoorspatial/ifls/internal/faults"
 	"github.com/indoorspatial/ifls/internal/geom"
 )
 
@@ -121,13 +122,15 @@ func (b *Builder) Build() (*Venue, error) {
 	}
 	if len(b.errs) > 0 {
 		// Report the first few errors; a malformed generator typically
-		// produces thousands of identical ones.
+		// produces thousands of identical ones. The error wraps
+		// faults.ErrMalformedVenue so callers can classify it.
 		const maxReport = 5
 		n := len(b.errs)
 		if n > maxReport {
-			return nil, fmt.Errorf("venue %q invalid (%d errors; first %d): %v", v.Name, n, maxReport, b.errs[:maxReport])
+			return nil, fmt.Errorf("%w: venue %q invalid (%d errors; first %d): %v",
+				faults.ErrMalformedVenue, v.Name, n, maxReport, b.errs[:maxReport])
 		}
-		return nil, fmt.Errorf("venue %q invalid: %v", v.Name, b.errs)
+		return nil, fmt.Errorf("%w: venue %q invalid: %v", faults.ErrMalformedVenue, v.Name, b.errs)
 	}
 	return v, nil
 }

@@ -1,0 +1,112 @@
+// Fuzz coverage for the no-panic guarantee: arbitrary (including hostile)
+// query values thrown at the public ifls API must come back as errors or
+// degraded results, never as a panic escaping an exported function.
+//
+// The test lives in package indoor_test so it can import the root ifls
+// package (Go permits an external test package to import packages that
+// depend on the package under test).
+package indoor_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	ifls "github.com/indoorspatial/ifls"
+)
+
+var fuzzIndex = struct {
+	once sync.Once
+	v    *ifls.Venue
+	ix   *ifls.Index
+	err  error
+}{}
+
+func fuzzFixture(tb testing.TB) (*ifls.Venue, *ifls.Index) {
+	tb.Helper()
+	fuzzIndex.once.Do(func() {
+		fuzzIndex.v, fuzzIndex.err = ifls.SampleVenue("CPH")
+		if fuzzIndex.err != nil {
+			return
+		}
+		fuzzIndex.ix, fuzzIndex.err = ifls.NewIndex(fuzzIndex.v)
+	})
+	if fuzzIndex.err != nil {
+		tb.Fatal(fuzzIndex.err)
+	}
+	return fuzzIndex.v, fuzzIndex.ix
+}
+
+// FuzzQueryValidate builds a Query from raw fuzz inputs — partition IDs
+// that may be far out of range or negative, coordinates that may be NaN,
+// infinite, or on the wrong level — and drives it through Validate and
+// every exported solver entry point. The only acceptable outcomes are a
+// typed error or a degraded (not-found) result; any panic fails the fuzz
+// run immediately, because testing's fuzz driver reports escaping panics
+// as crashes.
+func FuzzQueryValidate(f *testing.F) {
+	v, ix := fuzzFixture(f)
+
+	// Seed corpus: a valid query, then one seed per validation rule.
+	np := len(v.Partitions)
+	f.Add(int64(0), int64(1), int64(2), 1.0, 1.0, int64(0), 2)         // plausible
+	f.Add(int64(-1), int64(1), int64(2), 1.0, 1.0, int64(0), 2)        // negative existing
+	f.Add(int64(np+7), int64(1), int64(2), 1.0, 1.0, int64(0), 2)      // out-of-range existing
+	f.Add(int64(0), int64(np*3), int64(2), 1.0, 1.0, int64(0), 2)      // out-of-range candidate
+	f.Add(int64(0), int64(1), int64(-5), 1.0, 1.0, int64(0), 2)        // negative client partition
+	f.Add(int64(0), int64(1), int64(2), math.NaN(), 1.0, int64(0), 2)  // NaN coordinate
+	f.Add(int64(0), int64(1), int64(2), math.Inf(1), 1.0, int64(0), 2) // infinite coordinate
+	f.Add(int64(0), int64(1), int64(2), 1.0, 1.0, int64(99), 2)        // cross-level client
+	f.Add(int64(0), int64(1), int64(2), -1e9, -1e9, int64(0), 2)       // far outside partition
+	f.Add(int64(0), int64(1), int64(2), 1.0, 1.0, int64(0), -3)        // negative k
+	f.Add(int64(0), int64(1), int64(2), 1.0, 1.0, int64(0), 1_000_000) // huge k
+
+	f.Fuzz(func(t *testing.T, pe, pc, pp int64, x, y float64, level int64, k int) {
+		q := &ifls.Query{
+			Existing:   []ifls.PartitionID{ifls.PartitionID(pe)},
+			Candidates: []ifls.PartitionID{ifls.PartitionID(pc)},
+			Clients: []ifls.Client{{
+				ID:   1,
+				Loc:  ifls.Pt(x, y, int(level)),
+				Part: ifls.PartitionID(pp),
+			}},
+		}
+		verr := q.Validate(v) // must not panic; error is fine
+
+		ctx := context.Background()
+		if _, err := ix.SolveContext(ctx, q); (err != nil) != (verr != nil) {
+			t.Fatalf("SolveContext error %v inconsistent with Validate %v", err, verr)
+		} else if err != nil && !errors.Is(err, ifls.ErrInvalidQuery) {
+			t.Fatalf("SolveContext error %v does not wrap ErrInvalidQuery", err)
+		}
+		if _, err := ix.SolveBaselineContext(ctx, q); (err != nil) != (verr != nil) {
+			t.Fatalf("SolveBaselineContext error %v inconsistent with Validate %v", err, verr)
+		}
+		if _, err := ix.SolveMinDistContext(ctx, q); (err != nil) != (verr != nil) {
+			t.Fatalf("SolveMinDistContext error %v inconsistent with Validate %v", err, verr)
+		}
+		if _, err := ix.SolveMaxSumContext(ctx, q); (err != nil) != (verr != nil) {
+			t.Fatalf("SolveMaxSumContext error %v inconsistent with Validate %v", err, verr)
+		}
+		if _, err := ix.SolveTopKContext(ctx, q, k); err != nil && !errors.Is(err, ifls.ErrInvalidQuery) {
+			t.Fatalf("SolveTopKContext error %v does not wrap ErrInvalidQuery", err)
+		}
+		if _, err := ix.SolveMultiContext(ctx, q, k); err != nil && !errors.Is(err, ifls.ErrInvalidQuery) {
+			t.Fatalf("SolveMultiContext error %v does not wrap ErrInvalidQuery", err)
+		}
+
+		// The plain (non-context) methods must also never panic: they
+		// degrade to not-found results on bad input.
+		ix.Solve(q)
+		ix.SolveBaseline(q)
+		ix.SolveMinDist(q)
+		ix.SolveMaxSum(q)
+		ix.SolveTopK(q, k)
+		ix.SolveMulti(q, k)
+		sess := ix.NewSession()
+		sess.Solve(q)
+		sess.SolveTopK(q, k)
+	})
+}

@@ -1,12 +1,15 @@
 package vip
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/indoorspatial/ifls/internal/d2d"
+	"github.com/indoorspatial/ifls/internal/faults"
 	"github.com/indoorspatial/ifls/internal/indoor"
 )
 
@@ -124,15 +127,41 @@ type Tree struct {
 // share the returned *Tree across goroutines. Build itself must not be
 // called concurrently with mutations of v; venues are immutable after
 // indoor.Builder.Build, which makes this automatic.
+//
+// Build never panics on bad input: a nil or empty venue yields an error
+// wrapping faults.ErrMalformedVenue, unusable fanouts wrap
+// faults.ErrInvalidOptions, and a venue whose adjacency cannot be clustered
+// into a hierarchy wraps faults.ErrMalformedVenue.
 func Build(v *indoor.Venue, opts Options) (*Tree, error) {
+	return BuildContext(context.Background(), v, opts)
+}
+
+// BuildContext is Build with cooperative cancellation. The context is polled
+// once per source door during the matrix fill — the phase that dominates
+// construction time — in both the sequential and the parallel path; the two
+// cheap structural phases run to completion regardless. On cancellation the
+// partially-filled tree is discarded and the error wraps both
+// faults.ErrCancelled and the context's own error.
+func BuildContext(ctx context.Context, v *indoor.Venue, opts Options) (*Tree, error) {
+	if v == nil {
+		return nil, fmt.Errorf("%w: nil venue", faults.ErrMalformedVenue)
+	}
+	if v.NumPartitions() == 0 {
+		return nil, fmt.Errorf("%w: venue has no partitions", faults.ErrMalformedVenue)
+	}
 	opts = opts.withDefaults()
 	if opts.LeafFanout < 1 || opts.NodeFanout < 2 {
-		return nil, fmt.Errorf("vip: invalid fanouts %d/%d", opts.LeafFanout, opts.NodeFanout)
+		return nil, fmt.Errorf("%w: vip fanouts %d/%d (need leaf >= 1, node >= 2)",
+			faults.ErrInvalidOptions, opts.LeafFanout, opts.NodeFanout)
 	}
 	t := &Tree{venue: v, graph: d2d.New(v), opts: opts}
-	t.buildStructure()
+	if err := t.buildStructure(); err != nil {
+		return nil, err
+	}
 	t.computeDoorSets()
-	t.fillMatrices()
+	if err := t.fillMatrices(ctx); err != nil {
+		return nil, err
+	}
 	return t, nil
 }
 
@@ -229,8 +258,10 @@ func (t *Tree) childOnPath(a NodeID, l NodeID) NodeID {
 }
 
 // buildStructure clusters partitions into leaves and leaves into the node
-// hierarchy by greedy adjacency-respecting BFS merging.
-func (t *Tree) buildStructure() {
+// hierarchy by greedy adjacency-respecting BFS merging. It returns an error
+// wrapping faults.ErrMalformedVenue when merging stalls, which only happens
+// on venues whose partition adjacency violates the builder's invariants.
+func (t *Tree) buildStructure() error {
 	v := t.venue
 	n := v.NumPartitions()
 	t.leafOf = make([]NodeID, n)
@@ -285,7 +316,7 @@ func (t *Tree) buildStructure() {
 	for len(current) > 1 {
 		next := t.mergeLevel(current)
 		if len(next) >= len(current) {
-			panic("vip: merge made no progress")
+			return fmt.Errorf("%w: vip merge made no progress at %d nodes", faults.ErrMalformedVenue, len(current))
 		}
 		current = next
 	}
@@ -300,6 +331,7 @@ func (t *Tree) buildStructure() {
 		}
 	}
 	setDepth(t.root, 0)
+	return nil
 }
 
 // mergeLevel groups the given sibling candidates into parents by adjacency.
@@ -519,7 +551,14 @@ type rowTarget struct {
 // writes disjoint rows (a door owns its rows in every matrix it sources),
 // so the fill is race-free and its result is bit-identical for every
 // worker count.
-func (t *Tree) fillMatrices() {
+//
+// Cancellation: ctx is polled before each source door's Dijkstra. In the
+// parallel path every worker polls independently and stops claiming doors
+// once any worker observes the cancel; the already-running Dijkstras finish
+// (each is short) and the error is returned after the pool joins, so no
+// goroutine outlives the call. A background context costs one nil check per
+// door.
+func (t *Tree) fillMatrices(ctx context.Context) error {
 	// Which doors are matrix row sources, and where do the rows land?
 	rowTargets := map[indoor.DoorID][]rowTarget{}
 
@@ -554,32 +593,53 @@ func (t *Tree) fillMatrices() {
 	}
 	sort.Slice(doors, func(i, j int) bool { return doors[i] < doors[j] })
 
+	poll := ctx != nil && ctx.Done() != nil
 	workers := t.opts.workerCount()
 	if workers > len(doors) {
 		workers = len(doors)
 	}
 	if workers <= 1 {
 		for _, d := range doors {
+			if poll {
+				if err := ctx.Err(); err != nil {
+					return faults.Cancelled(err)
+				}
+			}
 			t.fillDoorRows(d, rowTargets[d])
 		}
-		return
+		return nil
 	}
 
 	// Static striding keeps the work split deterministic; the per-door
 	// cost is one Dijkstra over the whole door graph, uniform enough that
 	// striding balances as well as a shared counter without the
-	// contention.
+	// contention. stopped latches the first observed cancellation so every
+	// worker quits claiming doors promptly, not just the one that saw it.
+	var stopped atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			for i := w; i < len(doors); i += workers {
+				if poll {
+					if stopped.Load() {
+						return
+					}
+					if ctx.Err() != nil {
+						stopped.Store(true)
+						return
+					}
+				}
 				t.fillDoorRows(doors[i], rowTargets[doors[i]])
 			}
 		}(w)
 	}
 	wg.Wait()
+	if stopped.Load() {
+		return faults.Cancelled(ctx.Err())
+	}
+	return nil
 }
 
 // fillDoorRows runs the Dijkstra for one source door and writes its rows.

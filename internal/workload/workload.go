@@ -10,6 +10,7 @@ import (
 	"math/rand"
 
 	"github.com/indoorspatial/ifls/internal/core"
+	"github.com/indoorspatial/ifls/internal/faults"
 	"github.com/indoorspatial/ifls/internal/geom"
 	"github.com/indoorspatial/ifls/internal/indoor"
 	"github.com/indoorspatial/ifls/internal/locate"
@@ -61,8 +62,12 @@ func NewGenerator(v *indoor.Venue) *Generator {
 // Clients draws n clients from the distribution. Clients are placed inside
 // rooms; for the normal distribution, positions are sampled around the
 // venue center and snapped to the room they fall in, resampling when a draw
-// lands outside every room.
-func (g *Generator) Clients(n int, dist Distribution, sigma float64, rng *rand.Rand) []core.Client {
+// lands outside every room. An unknown distribution yields an error wrapping
+// faults.ErrInvalidWorkload.
+func (g *Generator) Clients(n int, dist Distribution, sigma float64, rng *rand.Rand) ([]core.Client, error) {
+	if dist != Uniform && dist != Normal {
+		return nil, fmt.Errorf("%w: unknown distribution %d", faults.ErrInvalidWorkload, dist)
+	}
 	out := make([]core.Client, 0, n)
 	for i := 0; i < n; i++ {
 		var c core.Client
@@ -72,12 +77,10 @@ func (g *Generator) Clients(n int, dist Distribution, sigma float64, rng *rand.R
 			c = core.Client{ID: int32(i), Part: p, Loc: g.venue.RandomPointIn(p, rng.Float64(), rng.Float64())}
 		case Normal:
 			c = g.normalClient(int32(i), sigma, rng)
-		default:
-			panic(fmt.Sprintf("workload: unknown distribution %d", dist))
 		}
 		out = append(out, c)
 	}
-	return out
+	return out, nil
 }
 
 // normalClient samples a client position from a normal distribution
@@ -120,10 +123,15 @@ func (g *Generator) normalClient(id int32, sigma float64, rng *rand.Rand) core.C
 
 // Facilities selects nExist existing facilities and nCand candidate
 // locations uniformly at random from the rooms, disjointly (synthetic
-// setting). It panics if the venue has fewer rooms than requested.
-func (g *Generator) Facilities(nExist, nCand int, rng *rand.Rand) (fe, fn []indoor.PartitionID) {
+// setting). Requesting more facilities than the venue has rooms, or a
+// negative count, yields an error wrapping faults.ErrInvalidWorkload.
+func (g *Generator) Facilities(nExist, nCand int, rng *rand.Rand) (fe, fn []indoor.PartitionID, err error) {
+	if nExist < 0 || nCand < 0 {
+		return nil, nil, fmt.Errorf("%w: negative facility counts %d/%d", faults.ErrInvalidWorkload, nExist, nCand)
+	}
 	if nExist+nCand > len(g.rooms) {
-		panic(fmt.Sprintf("workload: venue %q has %d rooms, need %d", g.venue.Name, len(g.rooms), nExist+nCand))
+		return nil, nil, fmt.Errorf("%w: venue %q has %d rooms, need %d",
+			faults.ErrInvalidWorkload, g.venue.Name, len(g.rooms), nExist+nCand)
 	}
 	perm := rng.Perm(len(g.rooms))
 	fe = make([]indoor.PartitionID, nExist)
@@ -134,7 +142,7 @@ func (g *Generator) Facilities(nExist, nCand int, rng *rand.Rand) (fe, fn []indo
 	for i := 0; i < nCand; i++ {
 		fn[i] = g.rooms[perm[nExist+i]]
 	}
-	return fe, fn
+	return fe, fn, nil
 }
 
 // RealSetting selects facilities the way the paper's real setting does: the
@@ -154,12 +162,20 @@ func (g *Generator) RealSetting(category string) (fe, fn []indoor.PartitionID, e
 }
 
 // Query assembles a complete IFLS query: facilities (synthetic setting) and
-// clients in one call.
-func (g *Generator) Query(nExist, nCand, nClients int, dist Distribution, sigma float64, rng *rand.Rand) *core.Query {
-	fe, fn := g.Facilities(nExist, nCand, rng)
+// clients in one call. Impossible requests yield an error wrapping
+// faults.ErrInvalidWorkload; see Facilities and Clients.
+func (g *Generator) Query(nExist, nCand, nClients int, dist Distribution, sigma float64, rng *rand.Rand) (*core.Query, error) {
+	fe, fn, err := g.Facilities(nExist, nCand, rng)
+	if err != nil {
+		return nil, err
+	}
+	clients, err := g.Clients(nClients, dist, sigma, rng)
+	if err != nil {
+		return nil, err
+	}
 	return &core.Query{
 		Existing:   fe,
 		Candidates: fn,
-		Clients:    g.Clients(nClients, dist, sigma, rng),
-	}
+		Clients:    clients,
+	}, nil
 }

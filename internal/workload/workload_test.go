@@ -1,10 +1,12 @@
 package workload
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
 
+	"github.com/indoorspatial/ifls/internal/faults"
 	"github.com/indoorspatial/ifls/internal/indoor"
 	"github.com/indoorspatial/ifls/internal/testvenue"
 	"github.com/indoorspatial/ifls/internal/venues"
@@ -14,7 +16,10 @@ func TestUniformClientsValid(t *testing.T) {
 	v := testvenue.Grid(testvenue.GridParams{Cols: 8, Levels: 2, InterRoomDoors: true})
 	g := NewGenerator(v)
 	rng := rand.New(rand.NewSource(1))
-	clients := g.Clients(500, Uniform, 0, rng)
+	clients, err := g.Clients(500, Uniform, 0, rng)
+	if err != nil {
+		t.Fatalf("Clients: %v", err)
+	}
 	if len(clients) != 500 {
 		t.Fatalf("generated %d clients", len(clients))
 	}
@@ -32,8 +37,14 @@ func TestNormalClientsValidAndConcentrated(t *testing.T) {
 	v := testvenue.Grid(testvenue.GridParams{Cols: 20, Levels: 1})
 	g := NewGenerator(v)
 	rng := rand.New(rand.NewSource(2))
-	small := g.Clients(800, Normal, 0.125, rng)
-	large := g.Clients(800, Normal, 2.0, rng)
+	small, err := g.Clients(800, Normal, 0.125, rng)
+	if err != nil {
+		t.Fatalf("Clients: %v", err)
+	}
+	large, err := g.Clients(800, Normal, 2.0, rng)
+	if err != nil {
+		t.Fatalf("Clients: %v", err)
+	}
 	bb := v.BoundingBox()
 	cx := (bb.Min.X + bb.Max.X) / 2
 	meanAbs := func(cs []float64) float64 {
@@ -59,11 +70,23 @@ func TestNormalClientsValidAndConcentrated(t *testing.T) {
 	}
 }
 
+func TestClientsRejectsUnknownDistribution(t *testing.T) {
+	v := testvenue.Corridor3()
+	g := NewGenerator(v)
+	_, err := g.Clients(10, Distribution(99), 0, rand.New(rand.NewSource(1)))
+	if !errors.Is(err, faults.ErrInvalidWorkload) {
+		t.Fatalf("err = %v, want ErrInvalidWorkload", err)
+	}
+}
+
 func TestFacilitiesDisjoint(t *testing.T) {
 	v := testvenue.Grid(testvenue.GridParams{Cols: 10, Levels: 2})
 	g := NewGenerator(v)
 	rng := rand.New(rand.NewSource(3))
-	fe, fn := g.Facilities(10, 15, rng)
+	fe, fn, err := g.Facilities(10, 15, rng)
+	if err != nil {
+		t.Fatalf("Facilities: %v", err)
+	}
 	if len(fe) != 10 || len(fn) != 15 {
 		t.Fatalf("sizes %d/%d", len(fe), len(fn))
 	}
@@ -79,15 +102,16 @@ func TestFacilitiesDisjoint(t *testing.T) {
 	}
 }
 
-func TestFacilitiesPanicsWhenOversized(t *testing.T) {
+func TestFacilitiesErrorsWhenOversized(t *testing.T) {
 	v := testvenue.Corridor3()
 	g := NewGenerator(v)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for oversized selection")
-		}
-	}()
-	g.Facilities(2, 2, rand.New(rand.NewSource(1)))
+	_, _, err := g.Facilities(2, 2, rand.New(rand.NewSource(1)))
+	if !errors.Is(err, faults.ErrInvalidWorkload) {
+		t.Fatalf("err = %v, want ErrInvalidWorkload", err)
+	}
+	if _, _, err := g.Facilities(-1, 1, rand.New(rand.NewSource(1))); !errors.Is(err, faults.ErrInvalidWorkload) {
+		t.Fatalf("negative count err = %v, want ErrInvalidWorkload", err)
+	}
 }
 
 func TestRealSetting(t *testing.T) {
@@ -114,7 +138,10 @@ func TestQueryAssembly(t *testing.T) {
 	v := testvenue.Grid(testvenue.GridParams{Cols: 10, Levels: 2})
 	g := NewGenerator(v)
 	rng := rand.New(rand.NewSource(9))
-	q := g.Query(5, 8, 100, Uniform, 0, rng)
+	q, err := g.Query(5, 8, 100, Uniform, 0, rng)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
 	if err := q.Validate(v); err != nil {
 		t.Fatalf("assembled query invalid: %v", err)
 	}
@@ -123,11 +150,28 @@ func TestQueryAssembly(t *testing.T) {
 	}
 }
 
+func TestQueryPropagatesWorkloadErrors(t *testing.T) {
+	v := testvenue.Corridor3()
+	g := NewGenerator(v)
+	if _, err := g.Query(5, 5, 10, Uniform, 0, rand.New(rand.NewSource(1))); !errors.Is(err, faults.ErrInvalidWorkload) {
+		t.Fatalf("oversized facilities err = %v, want ErrInvalidWorkload", err)
+	}
+	if _, err := g.Query(1, 1, 10, Distribution(42), 0, rand.New(rand.NewSource(1))); !errors.Is(err, faults.ErrInvalidWorkload) {
+		t.Fatalf("unknown distribution err = %v, want ErrInvalidWorkload", err)
+	}
+}
+
 func TestDeterministicWithSeed(t *testing.T) {
 	v := testvenue.Grid(testvenue.GridParams{Cols: 10, Levels: 2})
 	g := NewGenerator(v)
-	a := g.Clients(50, Normal, 0.5, rand.New(rand.NewSource(7)))
-	b := g.Clients(50, Normal, 0.5, rand.New(rand.NewSource(7)))
+	a, err := g.Clients(50, Normal, 0.5, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatalf("Clients: %v", err)
+	}
+	b, err := g.Clients(50, Normal, 0.5, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatalf("Clients: %v", err)
+	}
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatalf("client %d differs across equal seeds", i)
