@@ -8,6 +8,13 @@
 //	iflsbench -fig 7a -scale 10        # client counts divided by 10
 //	iflsbench -fig 5 -queries 3 -venues MC,CPH
 //	iflsbench -fig parallel -workers 8 # sequential-vs-parallel speedups
+//	iflsbench -fig 5 -metrics localhost:6060
+//
+// -metrics ADDR serves live run metrics while the sweep executes: expvar
+// JSON (per-stage span counters, latency histogram, prune-rate and
+// convergence gauges) at http://ADDR/debug/vars under the "ifls" key, and
+// the standard pprof profiling endpoints at http://ADDR/debug/pprof/. A
+// final snapshot is printed when the run ends.
 //
 // -workers N selects the worker count for the "parallel" report (tree
 // construction and a 100-query batch, each timed with 1 worker and with N)
@@ -20,11 +27,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"strings"
 	"time"
 
 	"github.com/indoorspatial/ifls/internal/bench"
+	"github.com/indoorspatial/ifls/internal/obs"
 )
 
 func main() {
@@ -35,6 +44,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker count for the parallel report and index builds (0 = all cores)")
 	out := flag.String("out", "", "also append output to this file")
 	csvOut := flag.String("csv", "", "write raw measurements as CSV to this file")
+	metricsAddr := flag.String("metrics", "", "serve expvar + pprof on this address (e.g. localhost:6060) while running")
 	flag.Parse()
 
 	var w io.Writer = os.Stdout
@@ -56,6 +66,18 @@ func main() {
 	r.Queries = *queries
 	r.Workers = *workers
 	r.Opts.Workers = *workers
+	if *metricsAddr != "" {
+		r.Metrics = obs.NewMetrics()
+		srv := &http.Server{Addr: *metricsAddr, Handler: obs.NewMux(r.Metrics)}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "iflsbench: metrics server:", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "iflsbench: metrics at http://%s/debug/vars, profiles at http://%s/debug/pprof/\n",
+			*metricsAddr, *metricsAddr)
+	}
 
 	figs := bench.FigureOrder
 	if *fig != "all" {
@@ -84,6 +106,9 @@ func main() {
 		fmt.Fprintf(w, "\n%s\n", bench.FormatSpeedups(all))
 	}
 	fmt.Fprintf(w, "total: %v\n", time.Since(start).Round(time.Second))
+	if r.Metrics != nil {
+		fmt.Fprintf(w, "metrics: %s\n", r.Metrics.ExpvarString())
+	}
 	if *csvOut != "" {
 		f, err := os.Create(*csvOut)
 		if err != nil {

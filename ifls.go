@@ -79,6 +79,7 @@ import (
 	"github.com/indoorspatial/ifls/internal/indoor"
 	"github.com/indoorspatial/ifls/internal/locate"
 	"github.com/indoorspatial/ifls/internal/motion"
+	"github.com/indoorspatial/ifls/internal/obs"
 	"github.com/indoorspatial/ifls/internal/temporal"
 	"github.com/indoorspatial/ifls/internal/venues"
 	"github.com/indoorspatial/ifls/internal/vip"
@@ -188,6 +189,10 @@ type Index struct {
 	venue   *indoor.Venue
 	tree    *vip.Tree
 	locator *locate.Locator
+	// metrics, when set via WithMetrics, makes every Context solver method
+	// record per-query spans and aggregates. Nil (the default) keeps the
+	// solvers on their unobserved paths.
+	metrics *obs.Metrics
 }
 
 // NewIndex builds an Index with default options.
@@ -285,6 +290,9 @@ func (ix *Index) Solve(q *Query) Result {
 // solver checkpoint when ctx is cancelled (ErrCancelled), and converts any
 // internal panic into ErrSolverPanic instead of crashing the caller.
 func (ix *Index) SolveContext(ctx context.Context, q *Query) (r Result, err error) {
+	if ix.metrics != nil {
+		return ix.solveContextObserved(ctx, q)
+	}
 	if err := ix.validated(q); err != nil {
 		return notFound(), err
 	}
@@ -308,6 +316,9 @@ func (ix *Index) SolveBaseline(q *Query) Result {
 // SolveBaselineContext is SolveBaseline with input validation and
 // cooperative cancellation; see SolveContext for the error contract.
 func (ix *Index) SolveBaselineContext(ctx context.Context, q *Query) (r Result, err error) {
+	if ix.metrics != nil {
+		return ix.solveBaselineContextObserved(ctx, q)
+	}
 	if err := ix.validated(q); err != nil {
 		return notFound(), err
 	}
@@ -331,6 +342,9 @@ func (ix *Index) SolveMinDist(q *Query) ExtResult {
 // SolveMinDistContext is SolveMinDist with input validation and cooperative
 // cancellation; see SolveContext for the error contract.
 func (ix *Index) SolveMinDistContext(ctx context.Context, q *Query) (r ExtResult, err error) {
+	if ix.metrics != nil {
+		return ix.solveMinDistContextObserved(ctx, q)
+	}
 	if err := ix.validated(q); err != nil {
 		return ExtResult{Answer: NoPartition, Objective: math.NaN()}, err
 	}
@@ -354,6 +368,9 @@ func (ix *Index) SolveMaxSum(q *Query) ExtResult {
 // SolveMaxSumContext is SolveMaxSum with input validation and cooperative
 // cancellation; see SolveContext for the error contract.
 func (ix *Index) SolveMaxSumContext(ctx context.Context, q *Query) (r ExtResult, err error) {
+	if ix.metrics != nil {
+		return ix.solveMaxSumContextObserved(ctx, q)
+	}
 	if err := ix.validated(q); err != nil {
 		return ExtResult{Answer: NoPartition, Objective: math.NaN()}, err
 	}
@@ -381,6 +398,9 @@ func (ix *Index) SolveTopK(q *Query, k int) []RankedCandidate {
 // SolveTopKContext is SolveTopK with input validation and cooperative
 // cancellation; see SolveContext for the error contract.
 func (ix *Index) SolveTopKContext(ctx context.Context, q *Query, k int) (r []RankedCandidate, err error) {
+	if ix.metrics != nil {
+		return ix.solveTopKContextObserved(ctx, q, k)
+	}
 	if err := ix.validated(q); err != nil {
 		return nil, err
 	}

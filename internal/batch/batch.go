@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -11,6 +12,7 @@ import (
 
 	"github.com/indoorspatial/ifls/internal/core"
 	"github.com/indoorspatial/ifls/internal/faults"
+	"github.com/indoorspatial/ifls/internal/obs"
 	"github.com/indoorspatial/ifls/internal/vip"
 )
 
@@ -74,6 +76,13 @@ type Options struct {
 	// Workers bounds the goroutines executing queries. Zero uses all
 	// available cores (runtime.NumCPU); 1 is exactly a sequential loop.
 	Workers int
+	// Metrics, when non-nil, receives one aggregate observation per query
+	// and the batch's per-stage span counts. Span events are buffered per
+	// worker and merged after the run, so the hot path never contends on
+	// the shared atomics; a cancelled query's partial trace is discarded
+	// and contributes no span events. Nil (the default) keeps every
+	// solver on its unobserved path.
+	Metrics *obs.Metrics
 }
 
 func (o Options) workerCount() int {
@@ -108,6 +117,9 @@ type Counters struct {
 	// per-query times; Sequential-vs-parallel speedup is the ratio of
 	// Walls.
 	Wall time.Duration
+	// Spans counts span events per instrumented stage, merged from the
+	// per-worker recorders. All zero unless Options.Metrics was set.
+	Spans obs.StageCounts
 }
 
 // Report is the outcome of one batch run, owned by the caller.
@@ -146,13 +158,23 @@ func Run(ctx context.Context, t *vip.Tree, queries []Query, opts Options) (*Repo
 	}
 
 	// Workers claim query indexes from a shared counter; each index is
-	// claimed exactly once, so Results writes are disjoint.
+	// claimed exactly once, so Results writes are disjoint. Span counts
+	// land in a per-worker slot (no shared mutable state inside the loop)
+	// and are merged after the barrier.
+	workerSpans := make([]obs.StageCounts, workers)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(slot int) {
 			defer wg.Done()
+			var counts obs.Counting
+			defer func() { workerSpans[slot] = counts.Counts }()
+			var trace obs.Trace
+			var tr *obs.Trace
+			if opts.Metrics != nil {
+				tr = &trace
+			}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(queries) {
@@ -160,11 +182,25 @@ func Run(ctx context.Context, t *vip.Tree, queries []Query, opts Options) (*Repo
 				}
 				if err := ctx.Err(); err != nil {
 					rep.Results[i] = Result{Err: faults.Cancelled(err)}
+					if opts.Metrics != nil {
+						opts.Metrics.ObserveQuery(observation(queries[i], &rep.Results[i]))
+					}
 					continue
 				}
-				rep.Results[i] = runOne(ctx, t, queries[i])
+				if tr != nil {
+					tr.Reset()
+				}
+				rep.Results[i] = runOne(ctx, t, queries[i], tr)
+				if opts.Metrics != nil {
+					// A cancelled query's partial trace is discarded: its
+					// spans never reach the worker's counts.
+					if !errors.Is(rep.Results[i].Err, faults.ErrCancelled) {
+						trace.FlushTo(&counts)
+					}
+					opts.Metrics.ObserveQuery(observation(queries[i], &rep.Results[i]))
+				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 
@@ -202,7 +238,47 @@ func Run(ctx context.Context, t *vip.Tree, queries []Query, opts Options) (*Repo
 		c.DistanceCalcs += st.DistanceCalcs
 		c.QueuePops += st.QueuePops
 	}
+	for _, ws := range workerSpans {
+		c.Spans.Merge(ws)
+	}
+	if opts.Metrics != nil {
+		opts.Metrics.MergeStages(c.Spans)
+	}
 	return rep, nil
+}
+
+// observation renders one finished query for Metrics.ObserveQuery. Failed
+// queries carry only the error and elapsed time; the work gauges come from
+// the payload the objective populated.
+func observation(q Query, r *Result) obs.QueryObservation {
+	o := obs.QueryObservation{Elapsed: r.Elapsed, Err: r.Err}
+	if r.Err != nil {
+		return o
+	}
+	if q.Query != nil {
+		o.Clients = len(q.Query.Clients)
+	}
+	switch effectiveObjective(q.Objective) {
+	case MinMax, Baseline:
+		o.Pruned = r.MinMax.Stats.PrunedClients
+		o.DistanceCalcs = r.MinMax.Stats.DistanceCalcs
+		o.QueuePops = r.MinMax.Stats.QueuePops
+		o.Found = r.MinMax.Found
+		o.FinalGd = r.MinMax.Objective
+	case MinDist, MaxSum:
+		o.Pruned = r.Ext.Stats.PrunedClients
+		o.DistanceCalcs = r.Ext.Stats.DistanceCalcs
+		o.QueuePops = r.Ext.Stats.QueuePops
+		o.Found = r.Ext.Improves
+		o.FinalGd = r.Ext.Objective
+	case TopK:
+		o.Found = len(r.TopK) > 0
+		o.FinalGd = math.NaN() // no single converged bound for a ranking
+		if len(r.TopK) > 0 {
+			o.FinalGd = r.TopK[0].Objective
+		}
+	}
+	return o
 }
 
 func effectiveObjective(o Objective) Objective {
@@ -221,8 +297,10 @@ var testHookRun func(Query)
 // runOne executes a single query inside a recovery scope, so one malformed
 // query cannot take down the batch: validation failures, unknown objectives,
 // cancellation, and recovered solver panics all land in the query's own
-// Result.Err, classified by the faults taxonomy.
-func runOne(ctx context.Context, t *vip.Tree, q Query) (r Result) {
+// Result.Err, classified by the faults taxonomy. A non-nil trace routes the
+// query through the observed solver entry points; the caller decides
+// whether to flush or discard the buffered spans.
+func runOne(ctx context.Context, t *vip.Tree, q Query, tr *obs.Trace) (r Result) {
 	start := time.Now()
 	defer func() {
 		if p := recover(); p != nil {
@@ -241,17 +319,37 @@ func runOne(ctx context.Context, t *vip.Tree, q Query) (r Result) {
 		r.Err = err
 		return r
 	}
+	if tr != nil {
+		tr.Event(obs.Span{Stage: obs.StageValidate, Elapsed: time.Since(start)})
+	}
+	if tr == nil {
+		switch effectiveObjective(q.Objective) {
+		case MinMax:
+			r.MinMax, r.Err = core.SolveContext(ctx, t, q.Query)
+		case Baseline:
+			r.MinMax, r.Err = core.SolveBaselineContext(ctx, t, q.Query)
+		case MinDist:
+			r.Ext, r.Err = core.SolveMinDistContext(ctx, t, q.Query)
+		case MaxSum:
+			r.Ext, r.Err = core.SolveMaxSumContext(ctx, t, q.Query)
+		case TopK:
+			r.TopK, r.Err = core.SolveTopKContext(ctx, t, q.Query, q.K)
+		default:
+			r.Err = fmt.Errorf("%w: batch objective %q", faults.ErrUnknownObjective, q.Objective)
+		}
+		return r
+	}
 	switch effectiveObjective(q.Objective) {
 	case MinMax:
-		r.MinMax, r.Err = core.SolveContext(ctx, t, q.Query)
+		r.MinMax, r.Err = core.SolveObserved(ctx, t, q.Query, tr)
 	case Baseline:
-		r.MinMax, r.Err = core.SolveBaselineContext(ctx, t, q.Query)
+		r.MinMax, r.Err = core.SolveBaselineObserved(ctx, t, q.Query, tr)
 	case MinDist:
-		r.Ext, r.Err = core.SolveMinDistContext(ctx, t, q.Query)
+		r.Ext, r.Err = core.SolveMinDistObserved(ctx, t, q.Query, tr)
 	case MaxSum:
-		r.Ext, r.Err = core.SolveMaxSumContext(ctx, t, q.Query)
+		r.Ext, r.Err = core.SolveMaxSumObserved(ctx, t, q.Query, tr)
 	case TopK:
-		r.TopK, r.Err = core.SolveTopKContext(ctx, t, q.Query, q.K)
+		r.TopK, r.Err = core.SolveTopKObserved(ctx, t, q.Query, q.K, tr)
 	default:
 		r.Err = fmt.Errorf("%w: batch objective %q", faults.ErrUnknownObjective, q.Objective)
 	}

@@ -1,0 +1,158 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/indoorspatial/ifls/internal/faults"
+	"github.com/indoorspatial/ifls/internal/obs"
+)
+
+// TestMetricsConcurrentWorkers runs an observed batch on many workers
+// (under -race this doubles as the data-race check for the per-worker
+// recorder merge) and checks the aggregates line up with the report.
+func TestMetricsConcurrentWorkers(t *testing.T) {
+	tree, queries := fixture(t, 40)
+	m := obs.NewMetrics()
+	rep, err := Run(context.Background(), tree, queries, Options{Workers: 8, Metrics: m})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	s := m.Snapshot()
+	if s.Queries != int64(len(queries)) {
+		t.Fatalf("Queries = %d, want %d", s.Queries, len(queries))
+	}
+	if s.Errors != 0 || s.Cancellations != 0 {
+		t.Fatalf("unexpected failures: errors=%d cancellations=%d", s.Errors, s.Cancellations)
+	}
+	if rep.Counters.Spans.Total() == 0 {
+		t.Fatal("Counters.Spans empty after observed run")
+	}
+	if s.Stages != rep.Counters.Spans {
+		t.Fatalf("metrics stages %v != report spans %v", s.Stages, rep.Counters.Spans)
+	}
+	// Every query passes validation, so the validate stage fires once per
+	// query; the traversal stages fire at least once somewhere in the mix.
+	if got := rep.Counters.Spans[obs.StageValidate]; got != uint64(len(queries)) {
+		t.Errorf("validate spans = %d, want %d", got, len(queries))
+	}
+	for _, st := range []obs.Stage{obs.StageLocate, obs.StageQueuePop, obs.StagePrune, obs.StageAnswerCheck} {
+		if rep.Counters.Spans[st] == 0 {
+			t.Errorf("stage %s: zero span events", st)
+		}
+	}
+	if s.Clients == 0 {
+		t.Error("clients gauge not populated")
+	}
+
+	// A metrics-free run returns identical payloads: observation is
+	// read-only with respect to the answers.
+	plain, err := Run(context.Background(), tree, queries, Options{Workers: 8})
+	if err != nil {
+		t.Fatalf("plain Run: %v", err)
+	}
+	for i := range queries {
+		if !bytesEqual(payloadBytes(t, rep.Results[i]), payloadBytes(t, plain.Results[i])) {
+			t.Fatalf("query %d: observed payload differs from plain payload", i)
+		}
+	}
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMetricsCancelledContributeNoSpans is the discard guarantee: queries
+// cancelled before or during the batch leave no span events behind, while
+// their cancellations still show up in the aggregate counts.
+func TestMetricsCancelledContributeNoSpans(t *testing.T) {
+	tree, queries := fixture(t, 12)
+	m := obs.NewMetrics()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // every query sees a dead context before it starts
+	rep, err := Run(ctx, tree, queries, Options{Workers: 4, Metrics: m})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := range rep.Results {
+		if !errors.Is(rep.Results[i].Err, faults.ErrCancelled) {
+			t.Fatalf("query %d: err = %v, want cancelled", i, rep.Results[i].Err)
+		}
+	}
+	if total := rep.Counters.Spans.Total(); total != 0 {
+		t.Fatalf("cancelled batch produced %d span events, want 0 (spans: %v)", total, rep.Counters.Spans)
+	}
+	s := m.Snapshot()
+	if s.Stages.Total() != 0 {
+		t.Fatalf("metrics carry %d span events from a fully cancelled batch", s.Stages.Total())
+	}
+	if s.Cancellations != int64(len(queries)) {
+		t.Fatalf("Cancellations = %d, want %d", s.Cancellations, len(queries))
+	}
+	if s.Clients != 0 || s.DistanceCalcs != 0 {
+		t.Fatalf("cancelled queries contributed work gauges: %+v", s)
+	}
+}
+
+// TestMetricsMidBatchCancellation cancels while the batch is in flight
+// (via the test hook, after a few queries have completed) and checks the
+// invariant still holds: only non-cancelled queries contribute spans, and
+// the span total matches the per-stage merge exactly.
+func TestMetricsMidBatchCancellation(t *testing.T) {
+	tree, queries := fixture(t, 24)
+	m := obs.NewMetrics()
+	ctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	var ran int32
+	var mu sync.Mutex
+	testHookRun = func(Query) {
+		mu.Lock()
+		ran++
+		n := ran
+		mu.Unlock()
+		if n == 8 {
+			once.Do(cancel)
+		}
+	}
+	defer func() { testHookRun = nil }()
+
+	rep, err := Run(ctx, tree, queries, Options{Workers: 4, Metrics: m})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	cancelled, completed := 0, 0
+	for i := range rep.Results {
+		if errors.Is(rep.Results[i].Err, faults.ErrCancelled) {
+			cancelled++
+		} else if rep.Results[i].Err == nil {
+			completed++
+		}
+	}
+	if cancelled == 0 {
+		t.Skip("cancellation raced after batch completion; nothing to assert")
+	}
+	// Completed queries fired validate exactly once each; cancelled ones
+	// must not have (mid-solve cancellations discard the whole trace).
+	if got := rep.Counters.Spans[obs.StageValidate]; got > uint64(len(queries)-cancelled) {
+		t.Fatalf("validate spans = %d with %d cancelled of %d: cancelled queries leaked spans",
+			got, cancelled, len(queries))
+	}
+	s := m.Snapshot()
+	if s.Stages != rep.Counters.Spans {
+		t.Fatalf("metrics stages %v != report spans %v", s.Stages, rep.Counters.Spans)
+	}
+	if s.Cancellations != int64(cancelled) {
+		t.Fatalf("Cancellations = %d, report says %d", s.Cancellations, cancelled)
+	}
+}

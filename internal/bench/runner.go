@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -9,6 +10,7 @@ import (
 	"github.com/indoorspatial/ifls/internal/core"
 	"github.com/indoorspatial/ifls/internal/faults"
 	"github.com/indoorspatial/ifls/internal/indoor"
+	"github.com/indoorspatial/ifls/internal/obs"
 	"github.com/indoorspatial/ifls/internal/venues"
 	"github.com/indoorspatial/ifls/internal/vip"
 	"github.com/indoorspatial/ifls/internal/workload"
@@ -94,6 +96,11 @@ type Runner struct {
 	// the sequential path; zero means all cores. It does not affect the
 	// paper figures, whose timings are deliberately single-threaded.
 	Workers int
+	// Metrics, when non-nil, receives one span event per instrumented
+	// solver stage and one aggregate observation per measured query; the
+	// -metrics flag of cmd/iflsbench serves the result over expvar. Nil
+	// keeps the measured path identical to the unobserved solvers.
+	Metrics *obs.Metrics
 
 	venuesByName map[string]*indoor.Venue
 	trees        map[string]*vip.Tree
@@ -188,8 +195,15 @@ func (r *Runner) buildQuery(c Cell, i int) (*core.Query, error) {
 	return q, nil
 }
 
-// Run measures one solver on one cell, averaging over r.Queries queries.
+// Run measures one solver on one cell, averaging over r.Queries queries. A
+// non-positive query count is a configuration error: Run reports it
+// explicitly (wrapping faults.ErrInvalidWorkload) instead of dividing the
+// totals by zero when computing the means.
 func (r *Runner) Run(c Cell, solver Solver) (Measurement, error) {
+	if r.Queries <= 0 {
+		return Measurement{}, fmt.Errorf("%w: runner configured with %d queries per cell; need at least 1",
+			faults.ErrInvalidWorkload, r.Queries)
+	}
 	tree, err := r.Tree(c.Venue)
 	if err != nil {
 		return Measurement{}, err
@@ -202,9 +216,33 @@ func (r *Runner) Run(c Cell, solver Solver) (Measurement, error) {
 		if err != nil {
 			return Measurement{}, err
 		}
-		elapsed, allocMB, res, err := measure(tree, q, solver)
+		if r.Metrics != nil {
+			// The bench layer owns validation (like the serving layer), so
+			// the validate stage is charged here, before the solver runs.
+			v, err := r.Venue(c.Venue)
+			if err != nil {
+				return Measurement{}, err
+			}
+			vStart := time.Now()
+			if err := q.Validate(v); err != nil {
+				return Measurement{}, err
+			}
+			r.Metrics.Event(obs.Span{Stage: obs.StageValidate, Elapsed: time.Since(vStart)})
+		}
+		elapsed, allocMB, res, err := measure(tree, q, solver, r.Metrics)
 		if err != nil {
 			return Measurement{}, err
+		}
+		if r.Metrics != nil {
+			r.Metrics.ObserveQuery(obs.QueryObservation{
+				Elapsed:       elapsed,
+				Clients:       len(q.Clients),
+				Pruned:        res.Stats.PrunedClients,
+				DistanceCalcs: res.Stats.DistanceCalcs,
+				QueuePops:     res.Stats.QueuePops,
+				Found:         res.Found,
+				FinalGd:       res.Objective,
+			})
 		}
 		totalTime += elapsed
 		totalAlloc += allocMB
@@ -228,20 +266,34 @@ func (r *Runner) Run(c Cell, solver Solver) (Measurement, error) {
 // measure runs one query under one solver, returning elapsed wall time and
 // allocated MB. Naming a solver outside Solvers yields an error wrapping
 // faults.ErrUnknownObjective instead of a panic, so a typo in a figure
-// definition fails the whole run with a message.
-func measure(tree *vip.Tree, q *core.Query, solver Solver) (time.Duration, float64, core.Result, error) {
+// definition fails the whole run with a message. A non-nil metrics value
+// routes the run through the observed solver entry points so per-stage
+// span counters accumulate alongside the timings.
+func measure(tree *vip.Tree, q *core.Query, solver Solver, metrics *obs.Metrics) (time.Duration, float64, core.Result, error) {
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
 	start := time.Now()
 	var res core.Result
+	var err error
 	switch solver {
 	case Efficient:
-		res = core.Solve(tree, q)
+		if metrics != nil {
+			res, err = core.SolveObserved(context.Background(), tree, q, metrics)
+		} else {
+			res = core.Solve(tree, q)
+		}
 	case Baseline:
-		res = core.SolveBaseline(tree, q)
+		if metrics != nil {
+			res, err = core.SolveBaselineObserved(context.Background(), tree, q, metrics)
+		} else {
+			res = core.SolveBaseline(tree, q)
+		}
 	default:
 		return 0, 0, core.Result{}, fmt.Errorf("%w: bench solver %q", faults.ErrUnknownObjective, solver)
+	}
+	if err != nil {
+		return 0, 0, core.Result{}, err
 	}
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&after)

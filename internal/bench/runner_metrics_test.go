@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"github.com/indoorspatial/ifls/internal/faults"
+	"github.com/indoorspatial/ifls/internal/obs"
+	"github.com/indoorspatial/ifls/internal/workload"
+)
+
+// TestRunnerZeroQueriesError is the regression test for the zero-query
+// panic: Run used to divide totals by r.Queries unconditionally, so a
+// runner (mis)configured with zero queries crashed with an integer divide
+// by zero instead of reporting the bad configuration.
+func TestRunnerZeroQueriesError(t *testing.T) {
+	cell := Cell{Venue: "CPH", Dist: workload.Uniform, NClients: 10,
+		NExist: 5, NCand: 5, Seed: 1}
+	for _, queries := range []int{0, -3} {
+		r := NewRunner()
+		r.Queries = queries
+		m, err := r.Run(cell, Efficient)
+		if err == nil {
+			t.Fatalf("Queries=%d: Run returned nil error", queries)
+		}
+		if !errors.Is(err, faults.ErrInvalidWorkload) {
+			t.Fatalf("Queries=%d: error %v does not wrap faults.ErrInvalidWorkload", queries, err)
+		}
+		if m != (Measurement{}) {
+			t.Fatalf("Queries=%d: Run returned non-zero measurement %+v with error", queries, m)
+		}
+	}
+}
+
+// TestRunnerMetricsMCAllStages is the observability acceptance check: a
+// bench run over the Melbourne Central venue with metrics attached must
+// export a non-zero counter for every instrumented stage, and the expvar
+// rendering must carry them.
+func TestRunnerMetricsMCAllStages(t *testing.T) {
+	r := NewRunner()
+	r.Queries = 2
+	r.Metrics = obs.NewMetrics()
+	cell := Cell{Venue: "MC", Dist: workload.Uniform, NClients: 40,
+		NExist: Table2["MC"].FeDefault, NCand: Table2["MC"].FnDefault, Seed: 11}
+	for _, solver := range Solvers {
+		if _, err := r.Run(cell, solver); err != nil {
+			t.Fatalf("%s: %v", solver, err)
+		}
+	}
+	s := r.Metrics.Snapshot()
+	if want := int64(len(Solvers) * r.Queries); s.Queries != want {
+		t.Fatalf("Queries = %d, want %d", s.Queries, want)
+	}
+	for st := 0; st < obs.NumStages; st++ {
+		if s.Stages[st] == 0 {
+			t.Errorf("stage %s: zero events after MC bench run", obs.Stage(st))
+		}
+	}
+	if s.Clients == 0 || s.DistanceCalcs == 0 || s.QueuePops == 0 {
+		t.Errorf("work gauges not populated: %+v", s)
+	}
+	if s.PruneRate <= 0 || s.PruneRate > 1 {
+		t.Errorf("PruneRate = %v, want in (0, 1]", s.PruneRate)
+	}
+
+	// The expvar rendering must serialize (no NaN leakage) and carry the
+	// same non-zero stage counters.
+	var rendered struct {
+		Stages map[string]uint64 `json:"stages"`
+	}
+	if err := json.Unmarshal([]byte(r.Metrics.ExpvarString()), &rendered); err != nil {
+		t.Fatalf("expvar rendering is not valid JSON: %v", err)
+	}
+	for st := 0; st < obs.NumStages; st++ {
+		if rendered.Stages[obs.Stage(st).String()] == 0 {
+			t.Errorf("expvar stage %s: zero", obs.Stage(st))
+		}
+	}
+}

@@ -4,9 +4,11 @@ import (
 	"context"
 	"math"
 	"sort"
+	"time"
 
 	"github.com/indoorspatial/ifls/internal/faults"
 	"github.com/indoorspatial/ifls/internal/indoor"
+	"github.com/indoorspatial/ifls/internal/obs"
 	"github.com/indoorspatial/ifls/internal/vip"
 )
 
@@ -39,6 +41,16 @@ func SolveBaseline(t *vip.Tree, q *Query) Result {
 // and the context's own error. A background (non-cancellable) context adds no
 // work beyond a nil check per checkpoint.
 func SolveBaselineContext(ctx context.Context, t *vip.Tree, q *Query) (Result, error) {
+	return solveBaseline(ctx, t, q, nil)
+}
+
+// solveBaseline is the baseline implementation with an optional span
+// recorder. Work accounting charges the baseline on the same events as the
+// efficient approach: every exact point-to-partition distance computation
+// (including those inside each per-client NN search) counts one
+// DistanceCalc, every NN-search dequeue one QueuePop, and every
+// materialized (client, candidate) pair one Retrieval.
+func solveBaseline(ctx context.Context, t *vip.Tree, q *Query, rec obs.Recorder) (Result, error) {
 	m := len(q.Clients)
 	if m == 0 || len(q.Candidates) == 0 {
 		return noResult(), nil
@@ -58,21 +70,49 @@ func SolveBaselineContext(ctx context.Context, t *vip.Tree, q *Query) (Result, e
 	feSet := vip.NewFacilitySet(t.Venue(), q.Existing)
 	res := Result{Answer: indoor.NoPartition}
 
+	// emit forwards one span event (with the counters snapshot) to the
+	// recorder; the disabled path is a nil comparison at each call site.
+	var obsStart time.Time
+	if rec != nil {
+		obsStart = time.Now()
+	}
+	emit := func(stage obs.Stage, gd float64) {
+		rec.Event(obs.Span{
+			Stage:         stage,
+			Elapsed:       time.Since(obsStart),
+			DistanceCalcs: res.Stats.DistanceCalcs,
+			Retrievals:    res.Stats.Retrievals,
+			QueuePops:     res.Stats.QueuePops,
+			PrunedClients: res.Stats.PrunedClients,
+			Gd:            gd,
+		})
+	}
+
 	// Step 1: nearest existing facility for every client, sorted by
-	// descending distance (the paper's list Ls).
+	// descending distance (the paper's list Ls). Each search's internal
+	// exact distance computations and dequeues are charged to the query,
+	// so Figure 1's cross-solver comparison counts the same events.
 	type entry struct {
 		client int
 		dist   float64
 	}
+	var search vip.SearchStats
 	ls := make([]entry, m)
 	for i, c := range q.Clients {
 		if err := cancelled(); err != nil {
 			return Result{}, err
 		}
-		_, d := t.NearestFacility(c.Loc, c.Part, feSet)
+		_, d := t.NearestFacilityCounted(c.Loc, c.Part, feSet, &search)
 		ls[i] = entry{client: i, dist: d}
-		res.Stats.DistanceCalcs++ // the NN search resolves one exact NN distance
+		if rec != nil {
+			res.Stats.DistanceCalcs = search.DistanceCalcs
+			res.Stats.QueuePops = search.QueuePops
+			emit(obs.StageLocate, d)
+			emit(obs.StageQueuePop, d)
+		}
 	}
+	res.Stats.DistanceCalcs = search.DistanceCalcs
+	res.Stats.QueuePops = search.QueuePops
 	sort.SliceStable(ls, func(i, j int) bool { return ls[i].dist > ls[j].dist })
 
 	// dist returns iDist(client, candidate), computing and caching it with
@@ -136,9 +176,17 @@ func SolveBaselineContext(ctx context.Context, t *vip.Tree, q *Query) (Result, e
 		}
 		i++
 		res.Stats.ConsideredClients++
+		if rec != nil {
+			// One span per refinement round: the baseline's analog of a
+			// pruning pass, at the round's NN-distance horizon.
+			emit(obs.StagePrune, li.dist)
+		}
 	}
 
 	// Step 5: Find_Ans.
+	if rec != nil {
+		emit(obs.StageAnswerCheck, ls[0].dist)
+	}
 	if len(ca) == 0 {
 		ca = caPrev
 	}

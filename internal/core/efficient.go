@@ -3,9 +3,11 @@ package core
 import (
 	"context"
 	"math"
+	"time"
 
 	"github.com/indoorspatial/ifls/internal/faults"
 	"github.com/indoorspatial/ifls/internal/indoor"
+	"github.com/indoorspatial/ifls/internal/obs"
 	"github.com/indoorspatial/ifls/internal/pq"
 	"github.com/indoorspatial/ifls/internal/vip"
 )
@@ -128,6 +130,13 @@ type eaState struct {
 	ctx context.Context
 	err error
 
+	// rec is the per-query span recorder; nil when observability is
+	// disabled, in which case every hook site is a single nil comparison
+	// and the run allocates exactly as much as an unobserved one.
+	// obsStart anchors the spans' monotonic Elapsed offsets.
+	rec      obs.Recorder
+	obsStart time.Time
+
 	// Top-k mode (SolveTopK): when topK > 0 the run records every
 	// covering candidate with its exact objective instead of stopping at
 	// the first.
@@ -191,6 +200,33 @@ func (s *eaState) bindContext(ctx context.Context) {
 	}
 }
 
+// bindRecorder attaches a per-query span recorder and anchors the span
+// timestamps. A nil recorder leaves the state on the exact unobserved code
+// path (the emit hooks reduce to one nil comparison each).
+func (s *eaState) bindRecorder(rec obs.Recorder) {
+	if rec != nil {
+		s.rec = rec
+		s.obsStart = time.Now()
+	}
+}
+
+// emit sends one span event to the bound recorder. Callers on hot paths
+// guard with s.rec != nil so the disabled path never pays the call.
+func (s *eaState) emit(stage obs.Stage, gd float64) {
+	if s.rec == nil {
+		return
+	}
+	s.rec.Event(obs.Span{
+		Stage:         stage,
+		Elapsed:       time.Since(s.obsStart),
+		DistanceCalcs: s.res.Stats.DistanceCalcs,
+		Retrievals:    s.res.Stats.Retrievals,
+		QueuePops:     s.res.Stats.QueuePops,
+		PrunedClients: s.res.Stats.PrunedClients,
+		Gd:            gd,
+	})
+}
+
 // cancelled is the cancellation checkpoint: it polls the bound context and
 // latches the first error into s.err. With no cancellable context bound it
 // is a single nil comparison.
@@ -250,6 +286,9 @@ func (s *eaState) pruneClient(ci int) {
 	s.active[ci] = false
 	s.activeCount--
 	s.res.Stats.PrunedClients++
+	if s.rec != nil {
+		s.emit(obs.StagePrune, s.gd)
+	}
 	if !s.satisfied[ci] {
 		s.satisfied[ci] = true
 		s.unsatisfied--
@@ -272,12 +311,22 @@ func (s *eaState) pruneClient(ci int) {
 // nearest existing facility is within the bound cannot be improved by any
 // candidate, so it leaves C. The lazy heap makes the amortized cost
 // proportional to the clients actually pruned.
+//
+// Entries are lazy: every bestExist improvement pushes a fresh entry, so
+// the heap may hold several keys per client. A client is pruned only
+// against its live key (the one equal to its current bestExist) — a stale
+// larger key popped later is skipped, never used as pruning evidence. The
+// live key is always present for an active client because pops happen only
+// here and a popped live key prunes immediately.
 func (s *eaState) prune(bound float64) {
 	for !s.pruneHeap.Empty() {
 		if _, d := s.pruneHeap.Peek(); d > bound {
 			return
 		}
-		ci, _ := s.pruneHeap.Pop()
+		ci, d := s.pruneHeap.Pop()
+		if !s.active[ci] || d != s.bestExist[ci] {
+			continue // stale key: re-pushed smaller, or already pruned
+		}
 		s.pruneClient(ci)
 	}
 }
@@ -420,6 +469,9 @@ func (s *eaState) run() (Result, error) {
 			s.offsets[ci] = s.explorer(c.Part).PointOffsets(c.Loc)
 		}
 	}
+	if s.rec != nil {
+		s.emit(obs.StageLocate, 0)
+	}
 	s.isFirst = s.checkList(0)
 	if s.isFirst {
 		s.drainEvents(0)
@@ -463,6 +515,10 @@ func (s *eaState) run() (Result, error) {
 			if len(s.byPart[e2.part]) > 0 {
 				s.process(e2)
 			}
+		}
+		if s.rec != nil {
+			// One span per global-bound advance: all ties at Gd consumed.
+			s.emit(obs.StageQueuePop, s.gd)
 		}
 
 		if !s.isFirst {
@@ -511,6 +567,9 @@ func (s *eaState) run() (Result, error) {
 // mode the first covering candidate ends the search; in top-k mode covering
 // candidates accumulate until k are ranked.
 func (s *eaState) answerCheck() (Result, bool) {
+	if s.rec != nil {
+		s.emit(obs.StageAnswerCheck, s.dlow)
+	}
 	if s.topK > 0 {
 		if s.collectCovering() {
 			return s.res, true

@@ -3,9 +3,11 @@ package core
 import (
 	"context"
 	"math"
+	"time"
 
 	"github.com/indoorspatial/ifls/internal/faults"
 	"github.com/indoorspatial/ifls/internal/indoor"
+	"github.com/indoorspatial/ifls/internal/obs"
 	"github.com/indoorspatial/ifls/internal/pq"
 	"github.com/indoorspatial/ifls/internal/vip"
 )
@@ -78,6 +80,11 @@ type extState struct {
 	// cancellation.
 	ctx context.Context
 	err error
+
+	// rec/obsStart mirror eaState's span recorder: nil rec keeps every
+	// hook a single nil comparison.
+	rec      obs.Recorder
+	obsStart time.Time
 }
 
 func newExtState(t *vip.Tree, q *Query, obj extObjective, stats *Stats) *extState {
@@ -120,6 +127,31 @@ func (s *extState) bindContext(ctx context.Context) {
 	if ctx != nil && ctx.Done() != nil {
 		s.ctx = ctx
 	}
+}
+
+// bindRecorder attaches a per-query span recorder; see eaState.bindRecorder.
+func (s *extState) bindRecorder(rec obs.Recorder) {
+	if rec != nil {
+		s.rec = rec
+		s.obsStart = time.Now()
+	}
+}
+
+// emit sends one span event to the bound recorder; hot callers guard with
+// s.rec != nil.
+func (s *extState) emit(stage obs.Stage, gd float64) {
+	if s.rec == nil {
+		return
+	}
+	s.rec.Event(obs.Span{
+		Stage:         stage,
+		Elapsed:       time.Since(s.obsStart),
+		DistanceCalcs: s.res.DistanceCalcs,
+		Retrievals:    s.res.Retrievals,
+		QueuePops:     s.res.QueuePops,
+		PrunedClients: s.res.PrunedClients,
+		Gd:            gd,
+	})
 }
 
 // cancelled polls the bound context, latching the first error into s.err.
@@ -170,18 +202,24 @@ func (s *extState) retrieve(ci int, f indoor.PartitionID, d float64) {
 	}
 }
 
+// prune mirrors eaState.prune, including the lazy-heap staleness rule: a
+// client is pruned only against its live key (equal to its current
+// bestExist); stale larger keys from before a re-push are skipped.
 func (s *extState) prune(bound float64) {
 	for !s.pruneHeap.Empty() {
 		if _, d := s.pruneHeap.Peek(); d > bound {
 			return
 		}
-		ci, _ := s.pruneHeap.Pop()
-		if !s.active[ci] {
-			continue // stale entry from an earlier improvement
+		ci, d := s.pruneHeap.Pop()
+		if !s.active[ci] || d != s.bestExist[ci] {
+			continue // stale key: re-pushed smaller, or already pruned
 		}
 		s.active[ci] = false
 		s.activeCount--
 		s.res.PrunedClients++
+		if s.rec != nil {
+			s.emit(obs.StagePrune, s.gd)
+		}
 		s.obj.clientPruned(ci, s.bestExist[ci])
 		p := s.q.Clients[ci].Part
 		list := s.byPart[p]
@@ -251,14 +289,12 @@ func (s *extState) run() (int, error) {
 	if s.cancelled() {
 		return -1, s.err
 	}
-	// Preamble: clients inside facility partitions.
+	// Preamble: clients inside facility partitions retrieve them at
+	// distance zero — routed through retrieve so the Retrievals counter
+	// tallies the same events as the MinMax solver's preamble.
 	for ci, c := range q.Clients {
-		if s.isExist[c.Part] {
-			s.bestExist[ci] = 0
-			s.pruneHeap.Push(ci, 0)
-		}
-		if k, ok := s.candIdx[c.Part]; ok {
-			s.obj.retrieved(ci, k, 0, 0)
+		if _, cand := s.candIdx[c.Part]; s.isExist[c.Part] || cand {
+			s.retrieve(ci, c.Part, 0)
 		}
 	}
 	s.prune(0)
@@ -268,7 +304,13 @@ func (s *extState) run() (int, error) {
 			s.offsets[ci] = s.explorer(c.Part).PointOffsets(c.Loc)
 		}
 	}
+	if s.rec != nil {
+		s.emit(obs.StageLocate, 0)
+	}
 	s.obj.boundAdvanced(0)
+	if s.rec != nil {
+		s.emit(obs.StageAnswerCheck, 0)
+	}
 	if k, ok := s.obj.answer(0); ok {
 		return k, nil
 	}
@@ -303,8 +345,14 @@ func (s *extState) run() (int, error) {
 				s.process(e2)
 			}
 		}
+		if s.rec != nil {
+			s.emit(obs.StageQueuePop, s.gd)
+		}
 		s.prune(s.gd)
 		s.obj.boundAdvanced(s.gd)
+		if s.rec != nil {
+			s.emit(obs.StageAnswerCheck, s.gd)
+		}
 		if k, ok := s.obj.answer(s.gd); ok {
 			return k, nil
 		}
@@ -313,6 +361,9 @@ func (s *extState) run() (int, error) {
 	s.gd = math.Inf(1)
 	s.prune(s.gd)
 	s.obj.boundAdvanced(s.gd)
+	if s.rec != nil {
+		s.emit(obs.StageAnswerCheck, s.gd)
+	}
 	k, _ := s.obj.answer(s.gd)
 	return k, nil
 }

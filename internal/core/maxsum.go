@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"github.com/indoorspatial/ifls/internal/indoor"
+	"github.com/indoorspatial/ifls/internal/obs"
 	"github.com/indoorspatial/ifls/internal/pq"
 	"github.com/indoorspatial/ifls/internal/vip"
 )
@@ -34,6 +35,12 @@ func SolveMaxSum(t *vip.Tree, q *Query) ExtResult {
 // SolveContext for the checkpoint contract. Partial counts are discarded on
 // cancellation.
 func SolveMaxSumContext(ctx context.Context, t *vip.Tree, q *Query) (ExtResult, error) {
+	return solveMaxSum(ctx, t, q, nil)
+}
+
+// solveMaxSum is the implementation with an optional span recorder (nil
+// keeps the exact unobserved code path).
+func solveMaxSum(ctx context.Context, t *vip.Tree, q *Query, rec obs.Recorder) (ExtResult, error) {
 	if len(q.Clients) == 0 || len(q.Candidates) == 0 {
 		return ExtResult{Answer: indoor.NoPartition, Objective: math.NaN()}, nil
 	}
@@ -41,6 +48,7 @@ func SolveMaxSumContext(ctx context.Context, t *vip.Tree, q *Query) (ExtResult, 
 	obj := newMaxSumObj(len(q.Clients))
 	s := newExtState(t, q, obj, &res.Stats)
 	s.bindContext(ctx)
+	s.bindRecorder(rec)
 	obj.init(len(s.cands))
 	k, err := s.run()
 	if err != nil {

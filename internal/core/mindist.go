@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"github.com/indoorspatial/ifls/internal/indoor"
+	"github.com/indoorspatial/ifls/internal/obs"
 	"github.com/indoorspatial/ifls/internal/pq"
 	"github.com/indoorspatial/ifls/internal/vip"
 )
@@ -36,6 +37,12 @@ func SolveMinDist(t *vip.Tree, q *Query) ExtResult {
 // SolveContext for the checkpoint contract. Partial totals are discarded on
 // cancellation.
 func SolveMinDistContext(ctx context.Context, t *vip.Tree, q *Query) (ExtResult, error) {
+	return solveMinDist(ctx, t, q, nil)
+}
+
+// solveMinDist is the implementation with an optional span recorder (nil
+// keeps the exact unobserved code path).
+func solveMinDist(ctx context.Context, t *vip.Tree, q *Query, rec obs.Recorder) (ExtResult, error) {
 	if len(q.Clients) == 0 || len(q.Candidates) == 0 {
 		return ExtResult{Answer: indoor.NoPartition, Objective: math.NaN()}, nil
 	}
@@ -43,6 +50,7 @@ func SolveMinDistContext(ctx context.Context, t *vip.Tree, q *Query) (ExtResult,
 	obj := newMinDistObj(len(q.Clients))
 	s := newExtState(t, q, obj, &res.Stats)
 	s.bindContext(ctx)
+	s.bindRecorder(rec)
 	obj.init(len(s.cands))
 	k, err := s.run()
 	if err != nil {

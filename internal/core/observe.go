@@ -1,0 +1,58 @@
+package core
+
+import (
+	"context"
+
+	"github.com/indoorspatial/ifls/internal/obs"
+	"github.com/indoorspatial/ifls/internal/vip"
+)
+
+// This file holds the observed entry points: each is its plain *Context
+// counterpart plus an optional per-query span recorder. The recorder
+// receives one obs.Span per instrumented stage transition (locate,
+// queue-pop, prune, answer-check) with the solver's work counters and the
+// global bound attached. A nil recorder is exactly the unobserved path:
+// every hook site is a single nil comparison and no Span is built, so the
+// disabled path adds zero allocations (asserted by
+// TestNoopRecorderZeroAllocOverhead).
+
+// SolveObserved is SolveContext with a span recorder attached to the
+// efficient (MinMax) solver.
+func SolveObserved(ctx context.Context, t *vip.Tree, q *Query, rec obs.Recorder) (Result, error) {
+	s := newEAState(t, q)
+	s.bindContext(ctx)
+	s.bindRecorder(rec)
+	return s.run()
+}
+
+// SolveBaselineObserved is SolveBaselineContext with a span recorder. The
+// baseline emits locate/queue-pop spans per client NN search, one prune
+// span per refinement round, and one answer-check span for Find_Ans.
+func SolveBaselineObserved(ctx context.Context, t *vip.Tree, q *Query, rec obs.Recorder) (Result, error) {
+	return solveBaseline(ctx, t, q, rec)
+}
+
+// SolveMinDistObserved is SolveMinDistContext with a span recorder.
+func SolveMinDistObserved(ctx context.Context, t *vip.Tree, q *Query, rec obs.Recorder) (ExtResult, error) {
+	return solveMinDist(ctx, t, q, rec)
+}
+
+// SolveMaxSumObserved is SolveMaxSumContext with a span recorder.
+func SolveMaxSumObserved(ctx context.Context, t *vip.Tree, q *Query, rec obs.Recorder) (ExtResult, error) {
+	return solveMaxSum(ctx, t, q, rec)
+}
+
+// SolveTopKObserved is SolveTopKContext with a span recorder.
+func SolveTopKObserved(ctx context.Context, t *vip.Tree, q *Query, k int, rec obs.Recorder) ([]RankedCandidate, error) {
+	if k <= 0 || len(q.Clients) == 0 || len(q.Candidates) == 0 {
+		return nil, nil
+	}
+	s := newEAState(t, q)
+	s.bindContext(ctx)
+	s.bindRecorder(rec)
+	s.topK = k
+	if _, err := s.run(); err != nil {
+		return nil, err
+	}
+	return finishTopK(s, k), nil
+}

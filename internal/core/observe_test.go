@@ -1,0 +1,202 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"github.com/indoorspatial/ifls/internal/obs"
+	"github.com/indoorspatial/ifls/internal/testvenue"
+	"github.com/indoorspatial/ifls/internal/vip"
+)
+
+// observeFixture builds a mid-size venue and a query that exercises client
+// pruning and several d_low advances, so every instrumented stage fires.
+func observeFixture() (*vip.Tree, *Query) {
+	v := testvenue.Grid(testvenue.GridParams{Cols: 6, Levels: 2, InterRoomDoors: true})
+	tree := vip.MustBuild(v, vip.Options{LeafFanout: 4, NodeFanout: 3, Vivid: true})
+	rng := rand.New(rand.NewSource(99))
+	q := randomQuery(v, rng, 4, 5, 20)
+	return tree, q
+}
+
+func TestObservedSolversMatchUnobserved(t *testing.T) {
+	tree, q := observeFixture()
+	ctx := context.Background()
+
+	plain := Solve(tree, q)
+	var rec obs.Counting
+	got, err := SolveObserved(ctx, tree, q, &rec)
+	if err != nil {
+		t.Fatalf("SolveObserved: %v", err)
+	}
+	if got != plain {
+		t.Fatalf("SolveObserved = %+v, Solve = %+v", got, plain)
+	}
+	if rec.Counts.Total() == 0 {
+		t.Fatal("SolveObserved recorded no span events")
+	}
+
+	plainBL := SolveBaseline(tree, q)
+	var recBL obs.Counting
+	gotBL, err := SolveBaselineObserved(ctx, tree, q, &recBL)
+	if err != nil {
+		t.Fatalf("SolveBaselineObserved: %v", err)
+	}
+	if gotBL.Found != plainBL.Found || gotBL.Answer != plainBL.Answer || gotBL.Objective != plainBL.Objective {
+		t.Fatalf("SolveBaselineObserved = %+v, SolveBaseline = %+v", gotBL, plainBL)
+	}
+	if recBL.Counts.Total() == 0 {
+		t.Fatal("SolveBaselineObserved recorded no span events")
+	}
+
+	plainMD := SolveMinDist(tree, q)
+	var recMD obs.Counting
+	gotMD, err := SolveMinDistObserved(ctx, tree, q, &recMD)
+	if err != nil {
+		t.Fatalf("SolveMinDistObserved: %v", err)
+	}
+	if gotMD.Answer != plainMD.Answer || gotMD.Objective != plainMD.Objective {
+		t.Fatalf("SolveMinDistObserved = %+v, SolveMinDist = %+v", gotMD, plainMD)
+	}
+	if recMD.Counts.Total() == 0 {
+		t.Fatal("SolveMinDistObserved recorded no span events")
+	}
+
+	plainMS := SolveMaxSum(tree, q)
+	var recMS obs.Counting
+	gotMS, err := SolveMaxSumObserved(ctx, tree, q, &recMS)
+	if err != nil {
+		t.Fatalf("SolveMaxSumObserved: %v", err)
+	}
+	if gotMS.Answer != plainMS.Answer || gotMS.Objective != plainMS.Objective {
+		t.Fatalf("SolveMaxSumObserved = %+v, SolveMaxSum = %+v", gotMS, plainMS)
+	}
+	if recMS.Counts.Total() == 0 {
+		t.Fatal("SolveMaxSumObserved recorded no span events")
+	}
+
+	plainTK := SolveTopK(tree, q, 3)
+	var recTK obs.Counting
+	gotTK, err := SolveTopKObserved(ctx, tree, q, 3, &recTK)
+	if err != nil {
+		t.Fatalf("SolveTopKObserved: %v", err)
+	}
+	if len(gotTK) != len(plainTK) {
+		t.Fatalf("SolveTopKObserved returned %d candidates, SolveTopK %d", len(gotTK), len(plainTK))
+	}
+	for i := range gotTK {
+		if gotTK[i] != plainTK[i] {
+			t.Fatalf("rank %d: observed %+v, plain %+v", i, gotTK[i], plainTK[i])
+		}
+	}
+	if recTK.Counts.Total() == 0 {
+		t.Fatal("SolveTopKObserved recorded no span events")
+	}
+}
+
+// TestObservedStagesCovered asserts the solver-side stages (locate,
+// queue-pop, prune, answer-check) all fire on a workload with pruning.
+// StageValidate belongs to the serving layer and is not expected here.
+func TestObservedStagesCovered(t *testing.T) {
+	tree, q := observeFixture()
+	solvers := map[string]func(obs.Recorder) error{
+		"efficient": func(r obs.Recorder) error {
+			_, err := SolveObserved(context.Background(), tree, q, r)
+			return err
+		},
+		"mindist": func(r obs.Recorder) error {
+			_, err := SolveMinDistObserved(context.Background(), tree, q, r)
+			return err
+		},
+		"maxsum": func(r obs.Recorder) error {
+			_, err := SolveMaxSumObserved(context.Background(), tree, q, r)
+			return err
+		},
+		"baseline": func(r obs.Recorder) error {
+			_, err := SolveBaselineObserved(context.Background(), tree, q, r)
+			return err
+		},
+	}
+	for name, run := range solvers {
+		t.Run(name, func(t *testing.T) {
+			var rec obs.Counting
+			if err := run(&rec); err != nil {
+				t.Fatalf("solver: %v", err)
+			}
+			for _, st := range []obs.Stage{obs.StageLocate, obs.StageQueuePop, obs.StagePrune, obs.StageAnswerCheck} {
+				if rec.Counts[st] == 0 {
+					t.Errorf("stage %s: zero events", st)
+				}
+			}
+		})
+	}
+}
+
+// TestObservedSpanMonotonic asserts spans carry monotonically non-decreasing
+// elapsed times and work counters, the contract ARCHITECTURE.md §8 states.
+func TestObservedSpanMonotonic(t *testing.T) {
+	tree, q := observeFixture()
+	var tr obs.Trace
+	if _, err := SolveObserved(context.Background(), tree, q, &tr); err != nil {
+		t.Fatalf("SolveObserved: %v", err)
+	}
+	spans := tr.Spans()
+	if len(spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Elapsed < spans[i-1].Elapsed {
+			t.Fatalf("span %d elapsed %v < previous %v", i, spans[i].Elapsed, spans[i-1].Elapsed)
+		}
+		if spans[i].DistanceCalcs < spans[i-1].DistanceCalcs {
+			t.Fatalf("span %d DistanceCalcs went backwards: %d < %d", i, spans[i].DistanceCalcs, spans[i-1].DistanceCalcs)
+		}
+		if spans[i].QueuePops < spans[i-1].QueuePops {
+			t.Fatalf("span %d QueuePops went backwards: %d < %d", i, spans[i].QueuePops, spans[i-1].QueuePops)
+		}
+		if spans[i].PrunedClients < spans[i-1].PrunedClients {
+			t.Fatalf("span %d PrunedClients went backwards: %d < %d", i, spans[i].PrunedClients, spans[i-1].PrunedClients)
+		}
+	}
+}
+
+// TestNoopRecorderZeroAllocOverhead is the disabled-path guarantee: solving
+// with a no-op recorder allocates exactly as much as solving with none.
+// The CI benchmark smoke step runs this test by name.
+func TestNoopRecorderZeroAllocOverhead(t *testing.T) {
+	tree, q := observeFixture()
+	ctx := context.Background()
+	base := testing.AllocsPerRun(50, func() {
+		if _, err := SolveContext(ctx, tree, q); err != nil {
+			t.Fatalf("SolveContext: %v", err)
+		}
+	})
+	withNop := testing.AllocsPerRun(50, func() {
+		if _, err := SolveObserved(ctx, tree, q, obs.Nop{}); err != nil {
+			t.Fatalf("SolveObserved: %v", err)
+		}
+	})
+	if withNop > base {
+		t.Fatalf("no-op recorder adds allocations: %v allocs/op with obs.Nop, %v without", withNop, base)
+	}
+}
+
+func BenchmarkSolve(b *testing.B) {
+	tree, q := observeFixture()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Solve(tree, q)
+	}
+}
+
+func BenchmarkSolveObservedNop(b *testing.B) {
+	tree, q := observeFixture()
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveObserved(ctx, tree, q, obs.Nop{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewMux returns an http.ServeMux serving the standard Go debug surface
+// for a metrics-instrumented process:
+//
+//	/debug/vars         expvar JSON (including m, published as "ifls"
+//	                    unless already published under another name)
+//	/debug/pprof/...    the full net/http/pprof handler set
+//
+// The mux is deliberately separate from http.DefaultServeMux so callers
+// decide which listener (if any) exposes it — typically a localhost-only
+// or ops-network port, never the query-serving one. A nil m serves pprof
+// and whatever expvar already holds.
+func NewMux(m *Metrics) *http.ServeMux {
+	if m != nil {
+		// Best effort: the name may legitimately be taken by an earlier
+		// publish of the same Metrics, and the handler serves all
+		// published vars either way.
+		_ = m.PublishExpvar("ifls")
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMetricsObserveQuery(t *testing.T) {
+	m := NewMetrics()
+	m.ObserveQuery(QueryObservation{
+		Elapsed: 80 * time.Microsecond, Clients: 100, Pruned: 60,
+		DistanceCalcs: 500, QueuePops: 40, Found: true, FinalGd: 12.5,
+	})
+	m.ObserveQuery(QueryObservation{
+		Elapsed: 80 * time.Microsecond, Clients: 100, Pruned: 20,
+		Found: false, FinalGd: math.NaN(),
+	})
+	m.ObserveQuery(QueryObservation{Elapsed: time.Minute, Err: errors.New("boom")})
+	m.ObserveQuery(QueryObservation{Err: fmt.Errorf("wrapped: %w", context.Canceled)})
+	m.ObserveQuery(QueryObservation{Err: context.DeadlineExceeded})
+
+	s := m.Snapshot()
+	if s.Queries != 5 || s.Errors != 3 || s.Cancellations != 2 || s.Found != 1 {
+		t.Errorf("queries/errors/cancellations/found = %d/%d/%d/%d, want 5/3/2/1",
+			s.Queries, s.Errors, s.Cancellations, s.Found)
+	}
+	// Failed queries contribute no work counters.
+	if s.Clients != 200 || s.Pruned != 80 || s.DistanceCalcs != 500 || s.QueuePops != 40 {
+		t.Errorf("work totals = %+v", s)
+	}
+	if math.Abs(s.PruneRate-0.4) > 1e-12 {
+		t.Errorf("PruneRate = %v, want 0.4", s.PruneRate)
+	}
+	if s.GdFinalAvg != 12.5 {
+		t.Errorf("GdFinalAvg = %v, want 12.5 (the NaN observation must not count)", s.GdFinalAvg)
+	}
+	// 80µs lands in the ≤100µs bucket, the zero-elapsed cancellations in
+	// the first bucket, and the 1-minute error in +Inf.
+	if s.Latency[1] != 2 || s.Latency[0] != 2 {
+		t.Errorf("buckets[0,1] = %d,%d, want 2,2", s.Latency[0], s.Latency[1])
+	}
+	if s.Latency[len(s.Latency)-1] != 1 {
+		t.Errorf("+Inf bucket = %d, want 1", s.Latency[len(s.Latency)-1])
+	}
+}
+
+func TestLatencyBucketBounds(t *testing.T) {
+	if latencyBucket(0) != 0 {
+		t.Errorf("bucket(0) = %d, want 0", latencyBucket(0))
+	}
+	if got := latencyBucket(LatencyBounds[3]); got != 3 {
+		t.Errorf("bucket at exact bound = %d, want 3 (bounds are inclusive)", got)
+	}
+	if got := latencyBucket(time.Hour); got != len(LatencyBounds) {
+		t.Errorf("overflow bucket = %d, want %d", got, len(LatencyBounds))
+	}
+	for i := 1; i < len(LatencyBounds); i++ {
+		if LatencyBounds[i] <= LatencyBounds[i-1] {
+			t.Errorf("LatencyBounds not ascending at %d", i)
+		}
+	}
+}
+
+func TestMetricsConcurrent(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local Counting
+			for i := 0; i < 1000; i++ {
+				local.Event(Span{Stage: StageQueuePop})
+				m.ObserveQuery(QueryObservation{Elapsed: time.Millisecond, Clients: 1, FinalGd: 2})
+			}
+			m.MergeStages(local.Counts)
+		}()
+	}
+	wg.Wait()
+	s := m.Snapshot()
+	if s.Queries != 8000 || s.Stages[StageQueuePop] != 8000 {
+		t.Errorf("queries = %d, queue_pop = %d, want 8000/8000", s.Queries, s.Stages[StageQueuePop])
+	}
+	if s.GdFinalAvg != 2 {
+		t.Errorf("GdFinalAvg = %v, want 2 (atomic float accumulation)", s.GdFinalAvg)
+	}
+}
+
+func TestPublishExpvar(t *testing.T) {
+	m := NewMetrics()
+	const name = "ifls_test_publish"
+	if err := m.PublishExpvar(name); err != nil {
+		t.Fatalf("PublishExpvar: %v", err)
+	}
+	// Re-publishing the same Metrics is a no-op, not a panic.
+	if err := m.PublishExpvar(name); err != nil {
+		t.Fatalf("re-publish same metrics: %v", err)
+	}
+	// A different Metrics under the same name is refused.
+	if err := NewMetrics().PublishExpvar(name); err == nil {
+		t.Fatal("publishing a different Metrics under a taken name must fail")
+	}
+
+	m.ObserveQuery(QueryObservation{Elapsed: time.Millisecond, Clients: 10, Pruned: 5, Found: true, FinalGd: 3})
+	m.Event(Span{Stage: StageValidate})
+
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(expvarString(t, name)), &decoded); err != nil {
+		t.Fatalf("expvar value is not JSON: %v", err)
+	}
+	if decoded["queries"].(float64) != 1 {
+		t.Errorf("queries = %v, want 1", decoded["queries"])
+	}
+	stages := decoded["stages"].(map[string]any)
+	if stages["validate"].(float64) != 1 {
+		t.Errorf("stages.validate = %v, want 1", stages["validate"])
+	}
+}
+
+func TestNewMuxServesVarsAndPprof(t *testing.T) {
+	m := NewMetrics()
+	m.ObserveQuery(QueryObservation{Elapsed: time.Millisecond, Clients: 2, FinalGd: 1})
+	mux := NewMux(m)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	for _, path := range []string{"/debug/vars", "/debug/pprof/cmdline"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if resp.StatusCode != 200 {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	resp, err := srv.Client().Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body strings.Builder
+	buf := make([]byte, 1<<16)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		body.Write(buf[:n])
+		if rerr != nil {
+			break
+		}
+	}
+	if !strings.Contains(body.String(), `"ifls"`) {
+		t.Errorf("/debug/vars does not include the published ifls metrics")
+	}
+}
+
+// expvarString fetches a published var's rendered value via the handler
+// (expvar.Get(name).String()).
+func expvarString(t *testing.T, name string) string {
+	t.Helper()
+	publishedMu.Lock()
+	defer publishedMu.Unlock()
+	v := published[name]
+	if v == nil {
+		t.Fatalf("var %q not published", name)
+	}
+	b, err := json.Marshal(v.expvarMap())
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return string(b)
+}

@@ -82,6 +82,16 @@ type nnEntry struct {
 	isPart bool
 }
 
+// SearchStats counts the work one top-down index search performed, on the
+// same event definitions the bottom-up solver uses for core.Stats:
+// DistanceCalcs is the number of exact point-to-partition distance
+// computations and QueuePops the number of priority-queue dequeues. A
+// plain value owned by the caller.
+type SearchStats struct {
+	DistanceCalcs int
+	QueuePops     int
+}
+
 // NearestFacility returns the facility partition nearest to point p located
 // in partition pp, and its exact indoor distance. It implements the
 // top-down best-first VIP-tree NN search of Shao et al.: nodes enter the
@@ -91,6 +101,15 @@ type nnEntry struct {
 // concurrent use: the search state is call-local, and the tree and
 // facility set are only read.
 func (t *Tree) NearestFacility(p geom.Point, pp indoor.PartitionID, fs *FacilitySet) (indoor.PartitionID, float64) {
+	return t.NearestFacilityCounted(p, pp, fs, nil)
+}
+
+// NearestFacilityCounted is NearestFacility with work accounting: when st
+// is non-nil, the search's exact distance computations and queue dequeues
+// are added to it, so callers comparing solvers (the baseline counts one
+// NN search per client) charge the search the same way the bottom-up
+// traversal charges itself. A nil st skips all accounting.
+func (t *Tree) NearestFacilityCounted(p geom.Point, pp indoor.PartitionID, fs *FacilitySet, st *SearchStats) (indoor.PartitionID, float64) {
 	if fs.Len() == 0 {
 		return indoor.NoPartition, math.Inf(1)
 	}
@@ -103,6 +122,9 @@ func (t *Tree) NearestFacility(p geom.Point, pp indoor.PartitionID, fs *Facility
 	q.Push(nnEntry{node: t.root}, 0)
 	for !q.Empty() {
 		entry, prio := q.Pop()
+		if st != nil {
+			st.QueuePops++
+		}
 		if entry.isPart {
 			return entry.part, prio
 		}
@@ -110,6 +132,9 @@ func (t *Tree) NearestFacility(p geom.Point, pp indoor.PartitionID, fs *Facility
 		if nd.leaf {
 			for _, f := range nd.parts {
 				if fs.Contains(f) {
+					if st != nil {
+						st.DistanceCalcs++
+					}
 					q.Push(nnEntry{part: f, isPart: true}, e.PointToPartition(offsets, f))
 				}
 			}
