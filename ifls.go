@@ -548,6 +548,65 @@ func (s *Session) SolveTopK(q *Query, k int) []RankedCandidate {
 	return r
 }
 
+// SolveMinDist answers the MinDist variant, reusing the session's caches.
+// Never panics; a contained failure degrades to the no-answer ExtResult.
+func (s *Session) SolveMinDist(q *Query) ExtResult {
+	var r ExtResult
+	if err := guard(func() { r = s.s.SolveMinDist(q) }); err != nil {
+		return ExtResult{Answer: NoPartition, Objective: math.NaN()}
+	}
+	return r
+}
+
+// SolveMinDistContext is SolveMinDist with cooperative cancellation; see
+// SolveContext for the cache-consistency contract.
+func (s *Session) SolveMinDistContext(ctx context.Context, q *Query) (r ExtResult, err error) {
+	if gerr := guard(func() { r, err = s.s.SolveMinDistContext(ctx, q) }); gerr != nil {
+		return ExtResult{Answer: NoPartition, Objective: math.NaN()}, gerr
+	}
+	return r, err
+}
+
+// SolveMaxSum answers the MaxSum variant, reusing the session's caches.
+// Never panics; a contained failure degrades to the no-answer ExtResult.
+func (s *Session) SolveMaxSum(q *Query) ExtResult {
+	var r ExtResult
+	if err := guard(func() { r = s.s.SolveMaxSum(q) }); err != nil {
+		return ExtResult{Answer: NoPartition, Objective: math.NaN()}
+	}
+	return r
+}
+
+// SolveMaxSumContext is SolveMaxSum with cooperative cancellation; see
+// SolveContext for the cache-consistency contract.
+func (s *Session) SolveMaxSumContext(ctx context.Context, q *Query) (r ExtResult, err error) {
+	if gerr := guard(func() { r, err = s.s.SolveMaxSumContext(ctx, q) }); gerr != nil {
+		return ExtResult{Answer: NoPartition, Objective: math.NaN()}, gerr
+	}
+	return r, err
+}
+
+// SolveMulti greedily selects k candidates, reusing the session's caches
+// across the greedy rounds. Never panics; a contained failure degrades to
+// an empty selection.
+func (s *Session) SolveMulti(q *Query, k int) MultiResult {
+	var r MultiResult
+	if err := guard(func() { r = s.s.SolveMulti(q, k) }); err != nil {
+		return MultiResult{Objective: math.NaN()}
+	}
+	return r
+}
+
+// SolveMultiContext is SolveMulti with cooperative cancellation threaded
+// into every greedy round; see SolveContext for the cache-consistency
+// contract.
+func (s *Session) SolveMultiContext(ctx context.Context, q *Query, k int) (r MultiResult, err error) {
+	if gerr := guard(func() { r, err = s.s.SolveMultiContext(ctx, q, k) }); gerr != nil {
+		return MultiResult{Objective: math.NaN()}, gerr
+	}
+	return r, err
+}
+
 // Neighbor is one entry of a KNearestFacilities or FacilitiesWithin answer.
 type Neighbor struct {
 	Facility PartitionID

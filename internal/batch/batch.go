@@ -175,6 +175,11 @@ func Run(ctx context.Context, t *vip.Tree, queries []Query, opts Options) (*Repo
 			if opts.Metrics != nil {
 				tr = &trace
 			}
+			// Each worker leases one Scratch for its whole run: queries on
+			// a worker reuse the same working memory sequentially, so the
+			// steady state of a large batch allocates almost nothing.
+			sc := scratchPool.Get().(*core.Scratch)
+			defer scratchPool.Put(sc)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(queries) {
@@ -190,7 +195,7 @@ func Run(ctx context.Context, t *vip.Tree, queries []Query, opts Options) (*Repo
 				if tr != nil {
 					tr.Reset()
 				}
-				rep.Results[i] = runOne(ctx, t, queries[i], tr)
+				rep.Results[i] = runOne(ctx, t, queries[i], tr, sc)
 				if opts.Metrics != nil {
 					// A cancelled query's partial trace is discarded: its
 					// spans never reach the worker's counts.
@@ -288,6 +293,28 @@ func effectiveObjective(o Objective) Objective {
 	return o
 }
 
+// coreObjective maps a batch objective string to its engine dispatch entry.
+func coreObjective(o Objective) (core.Objective, bool) {
+	switch effectiveObjective(o) {
+	case MinMax:
+		return core.ObjMinMax, true
+	case Baseline:
+		return core.ObjBaseline, true
+	case MinDist:
+		return core.ObjMinDist, true
+	case MaxSum:
+		return core.ObjMaxSum, true
+	case TopK:
+		return core.ObjTopK, true
+	}
+	return 0, false
+}
+
+// scratchPool hands each batch worker a reusable core.Scratch. Pool-global
+// so repeated Run calls (the dynamic-crowd replay loop) reuse warm memory
+// across batches, not just within one.
+var scratchPool = sync.Pool{New: func() any { return core.NewScratch() }}
+
 // testHookRun, when non-nil, runs inside runOne's recovery scope before the
 // solver dispatch. Tests use it to inject panics at a point production input
 // cannot reach (validation rejects realistic panic sources first), proving
@@ -297,10 +324,11 @@ var testHookRun func(Query)
 // runOne executes a single query inside a recovery scope, so one malformed
 // query cannot take down the batch: validation failures, unknown objectives,
 // cancellation, and recovered solver panics all land in the query's own
-// Result.Err, classified by the faults taxonomy. A non-nil trace routes the
-// query through the observed solver entry points; the caller decides
-// whether to flush or discard the buffered spans.
-func runOne(ctx context.Context, t *vip.Tree, q Query, tr *obs.Trace) (r Result) {
+// Result.Err, classified by the faults taxonomy. The solver work is one
+// core.Exec call — the objective string maps to a dispatch-table entry, a
+// non-nil trace becomes the run's recorder, and the worker's leased Scratch
+// backs the run's working memory.
+func runOne(ctx context.Context, t *vip.Tree, q Query, tr *obs.Trace, sc *core.Scratch) (r Result) {
 	start := time.Now()
 	defer func() {
 		if p := recover(); p != nil {
@@ -322,36 +350,29 @@ func runOne(ctx context.Context, t *vip.Tree, q Query, tr *obs.Trace) (r Result)
 	if tr != nil {
 		tr.Event(obs.Span{Stage: obs.StageValidate, Elapsed: time.Since(start)})
 	}
-	if tr == nil {
-		switch effectiveObjective(q.Objective) {
-		case MinMax:
-			r.MinMax, r.Err = core.SolveContext(ctx, t, q.Query)
-		case Baseline:
-			r.MinMax, r.Err = core.SolveBaselineContext(ctx, t, q.Query)
-		case MinDist:
-			r.Ext, r.Err = core.SolveMinDistContext(ctx, t, q.Query)
-		case MaxSum:
-			r.Ext, r.Err = core.SolveMaxSumContext(ctx, t, q.Query)
-		case TopK:
-			r.TopK, r.Err = core.SolveTopKContext(ctx, t, q.Query, q.K)
-		default:
-			r.Err = fmt.Errorf("%w: batch objective %q", faults.ErrUnknownObjective, q.Objective)
-		}
+	obj, ok := coreObjective(q.Objective)
+	if !ok {
+		r.Err = fmt.Errorf("%w: batch objective %q", faults.ErrUnknownObjective, q.Objective)
 		return r
 	}
-	switch effectiveObjective(q.Objective) {
-	case MinMax:
-		r.MinMax, r.Err = core.SolveObserved(ctx, t, q.Query, tr)
-	case Baseline:
-		r.MinMax, r.Err = core.SolveBaselineObserved(ctx, t, q.Query, tr)
-	case MinDist:
-		r.Ext, r.Err = core.SolveMinDistObserved(ctx, t, q.Query, tr)
-	case MaxSum:
-		r.Ext, r.Err = core.SolveMaxSumObserved(ctx, t, q.Query, tr)
-	case TopK:
-		r.TopK, r.Err = core.SolveTopKObserved(ctx, t, q.Query, q.K, tr)
-	default:
-		r.Err = fmt.Errorf("%w: batch objective %q", faults.ErrUnknownObjective, q.Objective)
+	// A nil *obs.Trace must stay a nil interface, or the solver would take
+	// its observed path with a typed-nil recorder.
+	var rec obs.Recorder
+	if tr != nil {
+		rec = tr
+	}
+	er, err := core.Exec(ctx, t, q.Query, core.Options{Objective: obj, K: q.K, Recorder: rec, Scratch: sc})
+	if err != nil {
+		r.Err = err
+		return r
+	}
+	switch obj {
+	case core.ObjMinMax, core.ObjBaseline:
+		r.MinMax = er.MinMax
+	case core.ObjMinDist, core.ObjMaxSum:
+		r.Ext = er.Ext
+	case core.ObjTopK:
+		r.TopK = er.TopK
 	}
 	return r
 }

@@ -274,27 +274,26 @@ func measure(tree *vip.Tree, q *core.Query, solver Solver, metrics *obs.Metrics)
 	runtime.GC()
 	runtime.ReadMemStats(&before)
 	start := time.Now()
-	var res core.Result
-	var err error
+	var obj core.Objective
 	switch solver {
 	case Efficient:
-		if metrics != nil {
-			res, err = core.SolveObserved(context.Background(), tree, q, metrics)
-		} else {
-			res = core.Solve(tree, q)
-		}
+		obj = core.ObjMinMax
 	case Baseline:
-		if metrics != nil {
-			res, err = core.SolveBaselineObserved(context.Background(), tree, q, metrics)
-		} else {
-			res = core.SolveBaseline(tree, q)
-		}
+		obj = core.ObjBaseline
 	default:
 		return 0, 0, core.Result{}, fmt.Errorf("%w: bench solver %q", faults.ErrUnknownObjective, solver)
 	}
+	// A nil *obs.Metrics must stay a nil recorder interface so the measured
+	// path is the solver's unobserved one.
+	var rec obs.Recorder
+	if metrics != nil {
+		rec = metrics
+	}
+	er, err := core.Exec(context.Background(), tree, q, core.Options{Objective: obj, Recorder: rec})
 	if err != nil {
 		return 0, 0, core.Result{}, err
 	}
+	res := er.MinMax
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&after)
 	allocMB := float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20)

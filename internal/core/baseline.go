@@ -41,7 +41,8 @@ func SolveBaseline(t *vip.Tree, q *Query) Result {
 // and the context's own error. A background (non-cancellable) context adds no
 // work beyond a nil check per checkpoint.
 func SolveBaselineContext(ctx context.Context, t *vip.Tree, q *Query) (Result, error) {
-	return solveBaseline(ctx, t, q, nil)
+	r, err := Exec(ctx, t, q, Options{Objective: ObjBaseline})
+	return r.MinMax, err
 }
 
 // solveBaseline is the baseline implementation with an optional span

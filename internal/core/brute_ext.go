@@ -99,11 +99,22 @@ func clientFacilityDistancesContext(ctx context.Context, g *d2d.Graph, q *Query)
 // exactly on the door-to-door graph. Call-local state; concurrent calls
 // are safe.
 func SolveBruteMinDist(g *d2d.Graph, q *Query) BruteExtResult {
+	r, _ := SolveBruteMinDistContext(context.Background(), g, q)
+	return r
+}
+
+// SolveBruteMinDistContext is SolveBruteMinDist with cooperative
+// cancellation, polled once per client partition during the distance-matrix
+// build. Partial results are discarded on cancellation.
+func SolveBruteMinDistContext(ctx context.Context, g *d2d.Graph, q *Query) (BruteExtResult, error) {
 	res := BruteExtResult{Answer: indoor.NoPartition, Objective: math.NaN()}
 	if len(q.Clients) == 0 || len(q.Candidates) == 0 {
-		return res
+		return res, nil
 	}
-	distTo, nnExist := clientFacilityDistances(g, q)
+	distTo, nnExist, err := clientFacilityDistancesContext(ctx, g, q)
+	if err != nil {
+		return BruteExtResult{Answer: indoor.NoPartition, Objective: math.NaN()}, err
+	}
 	res.PerCandidate = make([]float64, len(q.Candidates))
 	statusQuo := 0.0
 	for _, d := range nnExist {
@@ -124,18 +135,29 @@ func SolveBruteMinDist(g *d2d.Graph, q *Query) BruteExtResult {
 	res.Answer = q.Candidates[best]
 	res.Objective = bestTotal
 	res.Improves = bestTotal < statusQuo
-	return res
+	return res, nil
 }
 
 // SolveBruteMaxSum evaluates the MaxSum objective of every candidate
 // exactly on the door-to-door graph. Call-local state; concurrent calls
 // are safe.
 func SolveBruteMaxSum(g *d2d.Graph, q *Query) BruteExtResult {
+	r, _ := SolveBruteMaxSumContext(context.Background(), g, q)
+	return r
+}
+
+// SolveBruteMaxSumContext is SolveBruteMaxSum with cooperative
+// cancellation, polled once per client partition during the distance-matrix
+// build. Partial results are discarded on cancellation.
+func SolveBruteMaxSumContext(ctx context.Context, g *d2d.Graph, q *Query) (BruteExtResult, error) {
 	res := BruteExtResult{Answer: indoor.NoPartition, Objective: math.NaN()}
 	if len(q.Clients) == 0 || len(q.Candidates) == 0 {
-		return res
+		return res, nil
 	}
-	distTo, nnExist := clientFacilityDistances(g, q)
+	distTo, nnExist, err := clientFacilityDistancesContext(ctx, g, q)
+	if err != nil {
+		return BruteExtResult{Answer: indoor.NoPartition, Objective: math.NaN()}, err
+	}
 	res.PerCandidate = make([]float64, len(q.Candidates))
 	best, bestCount := -1, -1
 	for j := range q.Candidates {
@@ -154,5 +176,5 @@ func SolveBruteMaxSum(g *d2d.Graph, q *Query) BruteExtResult {
 	res.Answer = q.Candidates[best]
 	res.Objective = float64(bestCount)
 	res.Improves = bestCount > 0
-	return res
+	return res, nil
 }

@@ -37,13 +37,13 @@ import (
 // call-local, so concurrent Solve calls (on the same or different trees)
 // are safe without synchronization.
 //
-// Solve is the non-cancellable entry point: it is SolveContext with a
-// background context, which skips every cancellation checkpoint, so its
-// results and work counters are bit-identical to the pre-context solver.
+// Solve is a thin wrapper over Exec (as is every Solve* entry point in this
+// package): it is Exec with a background context and zero Options, which
+// skips every cancellation checkpoint and allocates fresh state, so its
+// results and work counters are bit-identical to the pre-engine solver.
 func Solve(t *vip.Tree, q *Query) Result {
-	s := newEAState(t, q)
-	r, _ := s.run()
-	return r
+	r, _ := Exec(context.Background(), t, q, Options{})
+	return r.MinMax
 }
 
 // SolveContext is Solve with cooperative cancellation: the traversal checks
@@ -53,9 +53,8 @@ func Solve(t *vip.Tree, q *Query) Result {
 // SolveContext does not validate the query; the serving layer (package ifls
 // and internal/batch) runs Query.Validate before solving.
 func SolveContext(ctx context.Context, t *vip.Tree, q *Query) (Result, error) {
-	s := newEAState(t, q)
-	s.bindContext(ctx)
-	return s.run()
+	r, err := Exec(ctx, t, q, Options{})
+	return r.MinMax, err
 }
 
 // eaEntry is a traversal queue entry: a client partition paired with either
@@ -143,34 +142,96 @@ type eaState struct {
 	topK       int
 	ranked     []RankedCandidate
 	rankedSeen map[indoor.PartitionID]bool
+
+	// sc is the backing Scratch when the run uses pooled memory; nil for
+	// fresh-allocation runs, which then take the exact pre-engine path
+	// (every pooled-path branch is a single nil comparison).
+	sc *Scratch
+
+	// curPart is the source partition of the entry being expanded; it
+	// routes the vip.Frontier hook calls back to the right traversal.
+	curPart indoor.PartitionID
 }
 
-func newEAState(t *vip.Tree, q *Query) *eaState {
+// newEAState builds (sc == nil) or resets (sc != nil) the MinMax traversal
+// state. The fresh path allocates exactly what the pre-engine solver did;
+// the reuse path produces observationally identical state — lengths reset,
+// capacity retained, result-bearing slices (ranked) never pooled because
+// they escape to the caller.
+func newEAState(t *vip.Tree, q *Query, sc *Scratch) *eaState {
 	m := len(q.Clients)
-	s := &eaState{
-		t:            t,
-		q:            q,
-		venue:        t.Venue(),
-		isExist:      make(map[indoor.PartitionID]bool, len(q.Existing)),
-		isCand:       make(map[indoor.PartitionID]bool, len(q.Candidates)),
-		candIdx:      make(map[indoor.PartitionID]int, len(q.Candidates)),
-		active:       make([]bool, m),
-		activeCount:  m,
-		byPart:       make(map[indoor.PartitionID][]int),
-		offsets:      make([][]float64, m),
-		explorers:    make(map[indoor.PartitionID]*vip.Explorer),
-		visited:      make(map[indoor.PartitionID]map[vip.NodeID]bool),
-		bestExist:    make([]float64, m),
-		minRetrieved: make([]float64, m),
-		candDist:     make([]map[indoor.PartitionID]float64, m),
-		activated:    make([][]int, m),
-		covered:      make([]int, len(q.Candidates)),
-		queue:        pq.New[eaEntry](64),
-		events:       pq.New[eaEvent](64),
-		pruneHeap:    pq.New[int](64),
-		satHeap:      pq.New[int](64),
-		satisfied:    make([]bool, m),
-		rankedSeen:   make(map[indoor.PartitionID]bool),
+	var s *eaState
+	if sc == nil {
+		s = &eaState{
+			t:            t,
+			q:            q,
+			venue:        t.Venue(),
+			isExist:      make(map[indoor.PartitionID]bool, len(q.Existing)),
+			isCand:       make(map[indoor.PartitionID]bool, len(q.Candidates)),
+			candIdx:      make(map[indoor.PartitionID]int, len(q.Candidates)),
+			active:       make([]bool, m),
+			activeCount:  m,
+			byPart:       make(map[indoor.PartitionID][]int),
+			offsets:      make([][]float64, m),
+			explorers:    make(map[indoor.PartitionID]*vip.Explorer),
+			visited:      make(map[indoor.PartitionID]map[vip.NodeID]bool),
+			bestExist:    make([]float64, m),
+			minRetrieved: make([]float64, m),
+			candDist:     make([]map[indoor.PartitionID]float64, m),
+			activated:    make([][]int, m),
+			covered:      make([]int, len(q.Candidates)),
+			queue:        pq.New[eaEntry](64),
+			events:       pq.New[eaEvent](64),
+			pruneHeap:    pq.New[int](64),
+			satHeap:      pq.New[int](64),
+			satisfied:    make([]bool, m),
+			rankedSeen:   make(map[indoor.PartitionID]bool),
+		}
+	} else {
+		s = &sc.ea
+		s.t, s.q, s.venue = t, q, t.Venue()
+		s.res = Result{}
+		s.sc = sc
+		s.isExist = reuseMap(s.isExist)
+		s.isCand = reuseMap(s.isCand)
+		s.candIdx = reuseMap(s.candIdx)
+		s.active = resize(s.active, m)
+		s.activeCount = m
+		if s.byPart == nil {
+			s.byPart = make(map[indoor.PartitionID][]int)
+		} else {
+			sc.recycleIntLists(s.byPart)
+		}
+		s.offsets = resizeLists(s.offsets, m)
+		sc.explorers = reuseMap(sc.explorers)
+		s.explorers = sc.explorers
+		if s.visited == nil {
+			s.visited = make(map[indoor.PartitionID]map[vip.NodeID]bool)
+		} else {
+			sc.recycleNodeSets(s.visited)
+		}
+		s.bestExist = resize(s.bestExist, m)
+		s.minRetrieved = resize(s.minRetrieved, m)
+		s.candDist = resizeMaps(s.candDist, m)
+		s.activated = resizeLists(s.activated, m)
+		s.covered = resize(s.covered, len(q.Candidates))
+		s.maxCovered = 0
+		sc.queue.Reset()
+		s.queue = &sc.queue
+		sc.events.Reset()
+		s.events = &sc.events
+		sc.pruneHeap.Reset()
+		s.pruneHeap = &sc.pruneHeap
+		sc.satHeap.Reset()
+		s.satHeap = &sc.satHeap
+		s.satisfied = resize(s.satisfied, m)
+		s.gd, s.dlow = 0, 0
+		s.isFirst = false
+		s.ctx, s.err = nil, nil
+		s.rec, s.obsStart = nil, time.Time{}
+		s.topK = 0
+		s.ranked = nil // escapes via finishTopK; never pooled
+		s.rankedSeen = reuseMap(s.rankedSeen)
 	}
 	s.unsatisfied = m
 	for _, f := range q.Existing {
@@ -186,7 +247,9 @@ func newEAState(t *vip.Tree, q *Query) *eaState {
 		s.active[i] = true
 		s.bestExist[i] = math.Inf(1)
 		s.minRetrieved[i] = math.Inf(1)
-		s.candDist[i] = make(map[indoor.PartitionID]float64)
+		if s.candDist[i] == nil {
+			s.candDist[i] = make(map[indoor.PartitionID]float64)
+		}
 	}
 	return s
 }
@@ -461,12 +524,17 @@ func (s *eaState) run() (Result, error) {
 	s.prune(0)
 	for ci, c := range q.Clients {
 		if s.active[ci] {
-			s.byPart[c.Part] = append(s.byPart[c.Part], ci)
+			s.addToPart(c.Part, ci)
 		}
 	}
 	for ci, c := range q.Clients {
 		if s.active[ci] {
-			s.offsets[ci] = s.explorer(c.Part).PointOffsets(c.Loc)
+			if s.sc != nil {
+				// Warm buffer: same offsets, no per-client allocation.
+				s.offsets[ci] = s.explorer(c.Part).PointOffsetsAppend(s.offsets[ci][:0], c.Loc)
+			} else {
+				s.offsets[ci] = s.explorer(c.Part).PointOffsets(c.Loc)
+			}
 		}
 	}
 	if s.rec != nil {
@@ -585,7 +653,11 @@ func (s *eaState) answerCheck() (Result, bool) {
 func (s *eaState) markVisited(p indoor.PartitionID, n vip.NodeID) bool {
 	m := s.visited[p]
 	if m == nil {
-		m = make(map[vip.NodeID]bool)
+		if s.sc != nil {
+			m = s.sc.takeNodeSet()
+		} else {
+			m = make(map[vip.NodeID]bool)
+		}
 		s.visited[p] = m
 	}
 	if m[n] {
@@ -595,13 +667,44 @@ func (s *eaState) markVisited(p indoor.PartitionID, n vip.NodeID) bool {
 	return true
 }
 
+// addToPart appends client ci to C'[p], drawing a recycled list from the
+// Scratch freelist when the partition is new to this run.
+func (s *eaState) addToPart(p indoor.PartitionID, ci int) {
+	list, ok := s.byPart[p]
+	if !ok && s.sc != nil {
+		list = s.sc.takeIntList()
+	}
+	s.byPart[p] = append(list, ci)
+}
+
+// eaState implements vip.Frontier for the traversal source set by process:
+// Tree.Expand drives the bottom-up expansion rule and these hooks queue the
+// resulting nodes and facility partitions.
+
+// Visit marks a node visited for the current source partition.
+func (s *eaState) Visit(n vip.NodeID) bool { return s.markVisited(s.curPart, n) }
+
+// PushNode enqueues a tree node for the current source partition.
+func (s *eaState) PushNode(n vip.NodeID, prio float64) {
+	s.queue.Push(eaEntry{part: s.curPart, node: n}, prio)
+}
+
+// Wanted reports whether a facility partition participates in the query.
+func (s *eaState) Wanted(f indoor.PartitionID) bool { return s.isExist[f] || s.isCand[f] }
+
+// PushFacility enqueues a facility partition for the current source.
+func (s *eaState) PushFacility(f indoor.PartitionID, prio float64) {
+	s.queue.Push(eaEntry{part: s.curPart, fac: f, isFac: true}, prio)
+}
+
 // process expands a dequeued entry: a facility partition is retrieved for
-// the partition's remaining clients; a tree node enqueues its unvisited
-// parent and children.
+// the partition's remaining clients; a tree node expands through
+// vip.Tree.Expand (parent, then leaf partitions or children — the order the
+// solver's determinism relies on).
 func (s *eaState) process(entry eaEntry) {
 	p := entry.part
+	e := s.explorer(p)
 	if entry.isFac {
-		e := s.explorer(p)
 		for _, ci := range s.byPart[p] {
 			d := e.PointToPartition(s.offsets[ci], entry.fac)
 			s.res.Stats.DistanceCalcs++
@@ -609,27 +712,8 @@ func (s *eaState) process(entry eaEntry) {
 		}
 		return
 	}
-	t := s.t
-	e := s.explorer(p)
-	if parent := t.Parent(entry.node); parent != vip.NoNode && s.markVisited(p, parent) {
-		s.queue.Push(eaEntry{part: p, node: parent}, e.MinToNode(parent))
-	}
-	if t.IsLeaf(entry.node) {
-		for _, f := range t.Partitions(entry.node) {
-			if f == p {
-				continue // the client's own partition was seeded upfront
-			}
-			if s.isExist[f] || s.isCand[f] {
-				s.queue.Push(eaEntry{part: p, fac: f, isFac: true}, e.MinToPartition(f))
-			}
-		}
-		return
-	}
-	for _, c := range t.Children(entry.node) {
-		if s.markVisited(p, c) {
-			s.queue.Push(eaEntry{part: p, node: c}, e.MinToNode(c))
-		}
-	}
+	s.curPart = p
+	s.t.Expand(e, p, entry.node, s)
 }
 
 // retainedBytes estimates the solver's simultaneously-held state: explorer

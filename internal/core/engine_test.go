@@ -1,0 +1,231 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/indoorspatial/ifls/internal/faults"
+	"github.com/indoorspatial/ifls/internal/indoor"
+	"github.com/indoorspatial/ifls/internal/testvenue"
+	"github.com/indoorspatial/ifls/internal/vip"
+)
+
+// eqFloat compares objectives treating NaN as equal to NaN (the canonical
+// "no answer" objective).
+func eqFloat(a, b float64) bool {
+	return a == b || (math.IsNaN(a) && math.IsNaN(b))
+}
+
+func eqResult(a, b Result) bool {
+	return a.Found == b.Found && a.Answer == b.Answer && eqFloat(a.Objective, b.Objective) && a.Stats == b.Stats
+}
+
+func eqExtResult(a, b ExtResult) bool {
+	return a.Answer == b.Answer && eqFloat(a.Objective, b.Objective) && a.Improves == b.Improves && a.Stats == b.Stats
+}
+
+func eqTopK(a, b []RankedCandidate) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Candidate != b[i].Candidate || !eqFloat(a[i].Objective, b[i].Objective) {
+			return false
+		}
+	}
+	return true
+}
+
+func eqMulti(a, b MultiResult) bool {
+	if !eqFloat(a.Objective, b.Objective) || a.Stats != b.Stats || len(a.Answers) != len(b.Answers) || len(a.PerStep) != len(b.PerStep) {
+		return false
+	}
+	for i := range a.Answers {
+		if a.Answers[i] != b.Answers[i] {
+			return false
+		}
+	}
+	for i := range a.PerStep {
+		if !eqFloat(a.PerStep[i], b.PerStep[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func engineFixture(t *testing.T) (*vip.Tree, *Query) {
+	t.Helper()
+	v := testvenue.Grid(testvenue.GridParams{Cols: 5, Levels: 2, InterRoomDoors: true})
+	tree := vip.MustBuild(v, vip.DefaultOptions())
+	rooms := v.Rooms()
+	q := &Query{
+		Existing:   rooms[:2],
+		Candidates: rooms[2:6],
+		Clients: []Client{
+			clientIn(v, rooms[6], 0),
+			clientIn(v, rooms[7], 1),
+			clientIn(v, rooms[8], 2),
+		},
+	}
+	return tree, q
+}
+
+// TestExecWrapperParity: every exported Solve* entry point is a thin wrapper
+// over Exec, so calling Exec directly must return byte-identical payloads.
+func TestExecWrapperParity(t *testing.T) {
+	tree, q := engineFixture(t)
+	ctx := context.Background()
+
+	er, err := Exec(ctx, tree, q, Options{Objective: ObjMinMax})
+	if err != nil {
+		t.Fatalf("Exec minmax: %v", err)
+	}
+	if want := Solve(tree, q); !eqResult(er.MinMax, want) {
+		t.Fatalf("minmax: Exec %+v != Solve %+v", er.MinMax, want)
+	}
+
+	er, err = Exec(ctx, tree, q, Options{Objective: ObjBaseline})
+	if err != nil {
+		t.Fatalf("Exec baseline: %v", err)
+	}
+	if want := SolveBaseline(tree, q); !eqResult(er.MinMax, want) {
+		t.Fatalf("baseline: Exec %+v != SolveBaseline %+v", er.MinMax, want)
+	}
+
+	er, err = Exec(ctx, tree, q, Options{Objective: ObjMinDist})
+	if err != nil {
+		t.Fatalf("Exec mindist: %v", err)
+	}
+	if want := SolveMinDist(tree, q); !eqExtResult(er.Ext, want) {
+		t.Fatalf("mindist: Exec %+v != SolveMinDist %+v", er.Ext, want)
+	}
+
+	er, err = Exec(ctx, tree, q, Options{Objective: ObjMaxSum})
+	if err != nil {
+		t.Fatalf("Exec maxsum: %v", err)
+	}
+	if want := SolveMaxSum(tree, q); !eqExtResult(er.Ext, want) {
+		t.Fatalf("maxsum: Exec %+v != SolveMaxSum %+v", er.Ext, want)
+	}
+
+	er, err = Exec(ctx, tree, q, Options{Objective: ObjTopK, K: 3})
+	if err != nil {
+		t.Fatalf("Exec topk: %v", err)
+	}
+	if want := SolveTopK(tree, q, 3); !eqTopK(er.TopK, want) {
+		t.Fatalf("topk: Exec %v != SolveTopK %v", er.TopK, want)
+	}
+
+	er, err = Exec(ctx, tree, q, Options{Objective: ObjMulti, K: 2})
+	if err != nil {
+		t.Fatalf("Exec multi: %v", err)
+	}
+	if want := SolveGreedyMulti(tree, q, 2); !eqMulti(er.Multi, want) {
+		t.Fatalf("multi: Exec %+v != SolveGreedyMulti %+v", er.Multi, want)
+	}
+}
+
+// TestExecEmptyUniform: impossible queries — no clients, no candidates, or a
+// non-positive K where K matters — answer with each objective's canonical
+// empty result and a nil error, before any solver state is built.
+func TestExecEmptyUniform(t *testing.T) {
+	tree, base := engineFixture(t)
+	ctx := context.Background()
+
+	impossible := []struct {
+		name string
+		q    *Query
+		k    int
+	}{
+		{"no clients", &Query{Existing: base.Existing, Candidates: base.Candidates}, 3},
+		{"no candidates", &Query{Existing: base.Existing, Clients: base.Clients}, 3},
+		{"both empty", &Query{}, 3},
+		{"zero k", base, 0},
+		{"negative k", base, -2},
+	}
+	for _, tc := range impossible {
+		kMatters := tc.q == base // the zero/negative-k rows use the possible base query
+		for obj := Objective(0); obj < numObjectives; obj++ {
+			if kMatters && obj != ObjTopK && obj != ObjMulti {
+				continue // K is ignored by the single-answer objectives
+			}
+			er, err := Exec(ctx, tree, tc.q, Options{Objective: obj, K: tc.k})
+			if err != nil {
+				t.Fatalf("%s/%v: err %v", tc.name, obj, err)
+			}
+			switch obj {
+			case ObjMinMax, ObjBaseline:
+				if !eqResult(er.MinMax, noResult()) {
+					t.Fatalf("%s/%v: %+v, want noResult", tc.name, obj, er.MinMax)
+				}
+			case ObjMinDist, ObjMaxSum:
+				if !eqExtResult(er.Ext, noExtResult()) {
+					t.Fatalf("%s/%v: %+v, want noExtResult", tc.name, obj, er.Ext)
+				}
+			case ObjTopK:
+				if er.TopK != nil {
+					t.Fatalf("%s/%v: %v, want nil ranking", tc.name, obj, er.TopK)
+				}
+			case ObjMulti:
+				if !eqMulti(er.Multi, noMultiResult()) {
+					t.Fatalf("%s/%v: %+v, want noMultiResult", tc.name, obj, er.Multi)
+				}
+			}
+		}
+	}
+}
+
+// TestExecUnknownObjective: an out-of-table objective is rejected with the
+// taxonomy sentinel, not a panic or a silent MinMax run.
+func TestExecUnknownObjective(t *testing.T) {
+	tree, q := engineFixture(t)
+	_, err := Exec(context.Background(), tree, q, Options{Objective: numObjectives + 3})
+	if !errors.Is(err, faults.ErrUnknownObjective) {
+		t.Fatalf("err = %v, want ErrUnknownObjective", err)
+	}
+}
+
+// TestExecValidate: Options.Validate front-loads Query.Validate, rejecting a
+// nil query and malformed input with ErrInvalidQuery.
+func TestExecValidate(t *testing.T) {
+	tree, q := engineFixture(t)
+	ctx := context.Background()
+
+	if _, err := Exec(ctx, tree, nil, Options{Validate: true}); !errors.Is(err, faults.ErrInvalidQuery) {
+		t.Fatalf("nil query: err = %v, want ErrInvalidQuery", err)
+	}
+	bad := &Query{
+		Existing:   []indoor.PartitionID{indoor.PartitionID(tree.Venue().NumPartitions() + 7)},
+		Candidates: q.Candidates,
+		Clients:    q.Clients,
+	}
+	if _, err := Exec(ctx, tree, bad, Options{Validate: true}); !errors.Is(err, faults.ErrInvalidQuery) {
+		t.Fatalf("out-of-range facility: err = %v, want ErrInvalidQuery", err)
+	}
+	if _, err := Exec(ctx, tree, q, Options{Validate: true}); err != nil {
+		t.Fatalf("valid query rejected: %v", err)
+	}
+}
+
+// TestObjectiveString: the dispatch table's wire names match the batch
+// layer's objective strings.
+func TestObjectiveString(t *testing.T) {
+	want := map[Objective]string{
+		ObjMinMax:   "minmax",
+		ObjBaseline: "baseline",
+		ObjMinDist:  "mindist",
+		ObjMaxSum:   "maxsum",
+		ObjTopK:     "topk",
+		ObjMulti:    "multi",
+	}
+	for obj, name := range want {
+		if got := obj.String(); got != name {
+			t.Fatalf("%d.String() = %q, want %q", obj, got, name)
+		}
+	}
+	if got := Objective(200).String(); got != "objective(200)" {
+		t.Fatalf("out-of-range String() = %q", got)
+	}
+}

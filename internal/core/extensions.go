@@ -85,25 +85,65 @@ type extState struct {
 	// hook a single nil comparison.
 	rec      obs.Recorder
 	obsStart time.Time
+
+	// sc/curPart mirror eaState: the backing Scratch (nil on the
+	// fresh-allocation path) and the source partition of the entry being
+	// expanded through vip.Tree.Expand.
+	sc      *Scratch
+	curPart indoor.PartitionID
 }
 
-func newExtState(t *vip.Tree, q *Query, obj extObjective, stats *Stats) *extState {
+// newExtState builds (sc == nil) or resets (sc != nil) the shared extension
+// traversal state; see newEAState for the fresh/reuse contract.
+func newExtState(t *vip.Tree, q *Query, obj extObjective, stats *Stats, sc *Scratch) *extState {
 	m := len(q.Clients)
-	s := &extState{
-		t:         t,
-		q:         q,
-		res:       stats,
-		obj:       obj,
-		isExist:   make(map[indoor.PartitionID]bool, len(q.Existing)),
-		candIdx:   make(map[indoor.PartitionID]int, len(q.Candidates)),
-		active:    make([]bool, m),
-		byPart:    make(map[indoor.PartitionID][]int),
-		offsets:   make([][]float64, m),
-		explorers: make(map[indoor.PartitionID]*vip.Explorer),
-		visited:   make(map[indoor.PartitionID]map[vip.NodeID]bool),
-		bestExist: make([]float64, m),
-		queue:     pq.New[eaEntry](64),
-		pruneHeap: pq.New[int](64),
+	var s *extState
+	if sc == nil {
+		s = &extState{
+			t:         t,
+			q:         q,
+			res:       stats,
+			obj:       obj,
+			isExist:   make(map[indoor.PartitionID]bool, len(q.Existing)),
+			candIdx:   make(map[indoor.PartitionID]int, len(q.Candidates)),
+			active:    make([]bool, m),
+			byPart:    make(map[indoor.PartitionID][]int),
+			offsets:   make([][]float64, m),
+			explorers: make(map[indoor.PartitionID]*vip.Explorer),
+			visited:   make(map[indoor.PartitionID]map[vip.NodeID]bool),
+			bestExist: make([]float64, m),
+			queue:     pq.New[eaEntry](64),
+			pruneHeap: pq.New[int](64),
+		}
+	} else {
+		s = &sc.ext
+		s.t, s.q, s.res, s.obj = t, q, stats, obj
+		s.sc = sc
+		s.cands = s.cands[:0]
+		s.isExist = reuseMap(s.isExist)
+		s.candIdx = reuseMap(s.candIdx)
+		s.active = resize(s.active, m)
+		if s.byPart == nil {
+			s.byPart = make(map[indoor.PartitionID][]int)
+		} else {
+			sc.recycleIntLists(s.byPart)
+		}
+		s.offsets = resizeLists(s.offsets, m)
+		sc.explorers = reuseMap(sc.explorers)
+		s.explorers = sc.explorers
+		if s.visited == nil {
+			s.visited = make(map[indoor.PartitionID]map[vip.NodeID]bool)
+		} else {
+			sc.recycleNodeSets(s.visited)
+		}
+		s.bestExist = resize(s.bestExist, m)
+		sc.queue.Reset()
+		s.queue = &sc.queue
+		sc.pruneHeap.Reset()
+		s.pruneHeap = &sc.pruneHeap
+		s.gd = 0
+		s.ctx, s.err = nil, nil
+		s.rec, s.obsStart = nil, time.Time{}
 	}
 	s.activeCount = m
 	for _, f := range q.Existing {
@@ -181,7 +221,11 @@ func (s *extState) explorer(p indoor.PartitionID) *vip.Explorer {
 func (s *extState) markVisited(p indoor.PartitionID, n vip.NodeID) bool {
 	m := s.visited[p]
 	if m == nil {
-		m = make(map[vip.NodeID]bool)
+		if s.sc != nil {
+			m = s.sc.takeNodeSet()
+		} else {
+			m = make(map[vip.NodeID]bool)
+		}
 		s.visited[p] = m
 	}
 	if m[n] {
@@ -189,6 +233,16 @@ func (s *extState) markVisited(p indoor.PartitionID, n vip.NodeID) bool {
 	}
 	m[n] = true
 	return true
+}
+
+// addToPart appends client ci to C'[p], drawing a recycled list from the
+// Scratch freelist when the partition is new to this run.
+func (s *extState) addToPart(p indoor.PartitionID, ci int) {
+	list, ok := s.byPart[p]
+	if !ok && s.sc != nil {
+		list = s.sc.takeIntList()
+	}
+	s.byPart[p] = append(list, ci)
 }
 
 func (s *extState) retrieve(ci int, f indoor.PartitionID, d float64) {
@@ -233,10 +287,35 @@ func (s *extState) prune(bound float64) {
 	}
 }
 
+// extState implements vip.Frontier; Tree.Expand drives the bottom-up
+// expansion rule through these hooks (see eaState's implementation).
+
+// Visit marks a node visited for the current source partition.
+func (s *extState) Visit(n vip.NodeID) bool { return s.markVisited(s.curPart, n) }
+
+// PushNode enqueues a tree node for the current source partition.
+func (s *extState) PushNode(n vip.NodeID, prio float64) {
+	s.queue.Push(eaEntry{part: s.curPart, node: n}, prio)
+}
+
+// Wanted reports whether a facility partition participates in the query.
+func (s *extState) Wanted(f indoor.PartitionID) bool {
+	if s.isExist[f] {
+		return true
+	}
+	_, ok := s.candIdx[f]
+	return ok
+}
+
+// PushFacility enqueues a facility partition for the current source.
+func (s *extState) PushFacility(f indoor.PartitionID, prio float64) {
+	s.queue.Push(eaEntry{part: s.curPart, fac: f, isFac: true}, prio)
+}
+
 func (s *extState) process(entry eaEntry) {
 	p := entry.part
+	e := s.explorer(p)
 	if entry.isFac {
-		e := s.explorer(p)
 		for _, ci := range s.byPart[p] {
 			d := e.PointToPartition(s.offsets[ci], entry.fac)
 			s.res.DistanceCalcs++
@@ -244,29 +323,8 @@ func (s *extState) process(entry eaEntry) {
 		}
 		return
 	}
-	t := s.t
-	e := s.explorer(p)
-	if parent := t.Parent(entry.node); parent != vip.NoNode && s.markVisited(p, parent) {
-		s.queue.Push(eaEntry{part: p, node: parent}, e.MinToNode(parent))
-	}
-	if t.IsLeaf(entry.node) {
-		for _, f := range t.Partitions(entry.node) {
-			if f == p {
-				continue
-			}
-			if s.isExist[f] {
-				s.queue.Push(eaEntry{part: p, fac: f, isFac: true}, e.MinToPartition(f))
-			} else if _, ok := s.candIdx[f]; ok {
-				s.queue.Push(eaEntry{part: p, fac: f, isFac: true}, e.MinToPartition(f))
-			}
-		}
-		return
-	}
-	for _, c := range t.Children(entry.node) {
-		if s.markVisited(p, c) {
-			s.queue.Push(eaEntry{part: p, node: c}, e.MinToNode(c))
-		}
-	}
+	s.curPart = p
+	s.t.Expand(e, p, entry.node, s)
 }
 
 // retainedBytes estimates the traversal's simultaneously-held state.
@@ -300,8 +358,13 @@ func (s *extState) run() (int, error) {
 	s.prune(0)
 	for ci, c := range q.Clients {
 		if s.active[ci] {
-			s.byPart[c.Part] = append(s.byPart[c.Part], ci)
-			s.offsets[ci] = s.explorer(c.Part).PointOffsets(c.Loc)
+			s.addToPart(c.Part, ci)
+			if s.sc != nil {
+				// Warm buffer: same offsets, no per-client allocation.
+				s.offsets[ci] = s.explorer(c.Part).PointOffsetsAppend(s.offsets[ci][:0], c.Loc)
+			} else {
+				s.offsets[ci] = s.explorer(c.Part).PointOffsets(c.Loc)
+			}
 		}
 	}
 	if s.rec != nil {

@@ -4,8 +4,6 @@ import (
 	"context"
 	"math"
 
-	"github.com/indoorspatial/ifls/internal/indoor"
-	"github.com/indoorspatial/ifls/internal/obs"
 	"github.com/indoorspatial/ifls/internal/pq"
 	"github.com/indoorspatial/ifls/internal/vip"
 )
@@ -33,36 +31,13 @@ func SolveMaxSum(t *vip.Tree, q *Query) ExtResult {
 
 // SolveMaxSumContext is SolveMaxSum with cooperative cancellation; see
 // SolveContext for the checkpoint contract. Partial counts are discarded on
-// cancellation.
+// cancellation. A thin wrapper over Exec with ObjMaxSum.
 func SolveMaxSumContext(ctx context.Context, t *vip.Tree, q *Query) (ExtResult, error) {
-	return solveMaxSum(ctx, t, q, nil)
-}
-
-// solveMaxSum is the implementation with an optional span recorder (nil
-// keeps the exact unobserved code path).
-func solveMaxSum(ctx context.Context, t *vip.Tree, q *Query, rec obs.Recorder) (ExtResult, error) {
-	if len(q.Clients) == 0 || len(q.Candidates) == 0 {
-		return ExtResult{Answer: indoor.NoPartition, Objective: math.NaN()}, nil
-	}
-	res := ExtResult{}
-	obj := newMaxSumObj(len(q.Clients))
-	s := newExtState(t, q, obj, &res.Stats)
-	s.bindContext(ctx)
-	s.bindRecorder(rec)
-	obj.init(len(s.cands))
-	k, err := s.run()
+	r, err := Exec(ctx, t, q, Options{Objective: ObjMaxSum})
 	if err != nil {
 		return ExtResult{}, err
 	}
-	res.Answer = s.cands[k]
-	res.Objective = float64(obj.captured[k])
-	res.Improves = obj.captured[k] > 0
-	retained := s.retainedBytes()
-	for ci := range obj.candDist {
-		retained += len(obj.candDist[ci])*48 + len(obj.pairDone[ci])*16
-	}
-	res.Stats.RetainedBytes = retained
-	return res, nil
+	return r.Ext, nil
 }
 
 type maxSumObj struct {
@@ -75,24 +50,41 @@ type maxSumObj struct {
 	clientDone []bool
 }
 
-func newMaxSumObj(m int) *maxSumObj {
-	o := &maxSumObj{
-		m:          m,
-		pending:    pq.New[pendPair](64),
-		pairDone:   make([]map[int]bool, m),
-		candDist:   make([]map[int]float64, m),
-		clientDone: make([]bool, m),
+// newMaxSumObj builds (sc == nil) or resets (sc != nil) the MaxSum
+// candidate bookkeeping; see newEAState for the fresh/reuse contract.
+func newMaxSumObj(m int, sc *Scratch) *maxSumObj {
+	var o *maxSumObj
+	if sc == nil {
+		o = &maxSumObj{
+			m:          m,
+			pending:    pq.New[pendPair](64),
+			pairDone:   make([]map[int]bool, m),
+			candDist:   make([]map[int]float64, m),
+			clientDone: make([]bool, m),
+		}
+	} else {
+		o = &sc.ms
+		o.m = m
+		sc.pending.Reset()
+		o.pending = &sc.pending
+		o.pairDone = resizeMaps(o.pairDone, m)
+		o.candDist = resizeMaps(o.candDist, m)
+		o.clientDone = resize(o.clientDone, m)
 	}
 	for i := 0; i < m; i++ {
-		o.pairDone[i] = make(map[int]bool)
-		o.candDist[i] = make(map[int]float64)
+		if o.pairDone[i] == nil {
+			o.pairDone[i] = make(map[int]bool)
+		}
+		if o.candDist[i] == nil {
+			o.candDist[i] = make(map[int]float64)
+		}
 	}
 	return o
 }
 
 func (o *maxSumObj) init(nc int) {
-	o.captured = make([]int, nc)
-	o.decided = make([]int, nc)
+	o.captured = resize(o.captured, nc)
+	o.decided = resize(o.decided, nc)
 }
 
 func (o *maxSumObj) decide(ci, k int, captures bool) {

@@ -4,8 +4,6 @@ import (
 	"context"
 	"math"
 
-	"github.com/indoorspatial/ifls/internal/indoor"
-	"github.com/indoorspatial/ifls/internal/obs"
 	"github.com/indoorspatial/ifls/internal/pq"
 	"github.com/indoorspatial/ifls/internal/vip"
 )
@@ -35,36 +33,13 @@ func SolveMinDist(t *vip.Tree, q *Query) ExtResult {
 
 // SolveMinDistContext is SolveMinDist with cooperative cancellation; see
 // SolveContext for the checkpoint contract. Partial totals are discarded on
-// cancellation.
+// cancellation. A thin wrapper over Exec with ObjMinDist.
 func SolveMinDistContext(ctx context.Context, t *vip.Tree, q *Query) (ExtResult, error) {
-	return solveMinDist(ctx, t, q, nil)
-}
-
-// solveMinDist is the implementation with an optional span recorder (nil
-// keeps the exact unobserved code path).
-func solveMinDist(ctx context.Context, t *vip.Tree, q *Query, rec obs.Recorder) (ExtResult, error) {
-	if len(q.Clients) == 0 || len(q.Candidates) == 0 {
-		return ExtResult{Answer: indoor.NoPartition, Objective: math.NaN()}, nil
-	}
-	res := ExtResult{}
-	obj := newMinDistObj(len(q.Clients))
-	s := newExtState(t, q, obj, &res.Stats)
-	s.bindContext(ctx)
-	s.bindRecorder(rec)
-	obj.init(len(s.cands))
-	k, err := s.run()
+	r, err := Exec(ctx, t, q, Options{Objective: ObjMinDist})
 	if err != nil {
 		return ExtResult{}, err
 	}
-	res.Answer = s.cands[k]
-	res.Objective = obj.sumExact[k]
-	res.Improves = obj.capturedAny[k]
-	retained := s.retainedBytes()
-	for ci := range obj.candDist {
-		retained += len(obj.candDist[ci])*48 + len(obj.pairSettled[ci])*16
-	}
-	res.Stats.RetainedBytes = retained
-	return res, nil
+	return r.Ext, nil
 }
 
 type pendPair struct {
@@ -87,26 +62,47 @@ type minDistObj struct {
 	dNN         []float64
 }
 
-func newMinDistObj(m int) *minDistObj {
-	o := &minDistObj{
-		m:           m,
-		pending:     pq.New[pendPair](64),
-		pairSettled: make([]map[int]bool, m),
-		candDist:    make([]map[int]float64, m),
-		clientDone:  make([]bool, m),
-		dNN:         make([]float64, m),
+// newMinDistObj builds (sc == nil) or resets (sc != nil) the MinDist
+// candidate bookkeeping; see newEAState for the fresh/reuse contract.
+func newMinDistObj(m int, sc *Scratch) *minDistObj {
+	var o *minDistObj
+	if sc == nil {
+		o = &minDistObj{
+			m:           m,
+			pending:     pq.New[pendPair](64),
+			pairSettled: make([]map[int]bool, m),
+			candDist:    make([]map[int]float64, m),
+			clientDone:  make([]bool, m),
+			dNN:         make([]float64, m),
+		}
+	} else {
+		o = &sc.md
+		o.m = m
+		sc.pending.Reset()
+		o.pending = &sc.pending
+		o.pairSettled = resizeMaps(o.pairSettled, m)
+		o.candDist = resizeMaps(o.candDist, m)
+		o.clientDone = resize(o.clientDone, m)
+		o.dNN = resize(o.dNN, m)
 	}
 	for i := 0; i < m; i++ {
-		o.pairSettled[i] = make(map[int]bool)
-		o.candDist[i] = make(map[int]float64)
+		if o.pairSettled[i] == nil {
+			o.pairSettled[i] = make(map[int]bool)
+		}
+		if o.candDist[i] == nil {
+			o.candDist[i] = make(map[int]float64)
+		}
 	}
 	return o
 }
 
+// init sizes the per-candidate accumulators. resize(nil, nc) is
+// make([]T, nc), so the fresh path allocates exactly as before; on a reused
+// objective the retained arrays are zeroed in place.
 func (o *minDistObj) init(nc int) {
-	o.sumExact = make([]float64, nc)
-	o.settledCount = make([]int, nc)
-	o.capturedAny = make([]bool, nc)
+	o.sumExact = resize(o.sumExact, nc)
+	o.settledCount = resize(o.settledCount, nc)
+	o.capturedAny = resize(o.capturedAny, nc)
 }
 
 func (o *minDistObj) settle(ci, k int, contribution float64, captured bool) {

@@ -43,46 +43,20 @@ func SolveGreedyMulti(t *vip.Tree, q *Query, k int) MultiResult {
 // SolveGreedyMultiContext is SolveGreedyMulti with cooperative cancellation:
 // the context is threaded into each round's single-facility solve, so a
 // cancel takes effect at that solver's checkpoint granularity. The partial
-// selection chain is discarded on cancellation.
+// selection chain is discarded on cancellation. A thin wrapper over Exec
+// with ObjMulti.
 func SolveGreedyMultiContext(ctx context.Context, t *vip.Tree, q *Query, k int) (MultiResult, error) {
-	res := MultiResult{}
-	if k <= 0 || len(q.Clients) == 0 || len(q.Candidates) == 0 {
-		res.Objective = math.NaN()
-		return res, nil
+	r, err := Exec(ctx, t, q, Options{Objective: ObjMulti, K: k})
+	if err != nil {
+		return MultiResult{}, err
 	}
-	existing := append([]indoor.PartitionID(nil), q.Existing...)
-	remaining := append([]indoor.PartitionID(nil), q.Candidates...)
-	for round := 0; round < k && len(remaining) > 0; round++ {
-		sub := &Query{Existing: existing, Candidates: remaining, Clients: q.Clients}
-		r, err := SolveContext(ctx, t, sub)
-		if err != nil {
-			return MultiResult{}, err
-		}
-		res.Stats.DistanceCalcs += r.Stats.DistanceCalcs
-		res.Stats.Retrievals += r.Stats.Retrievals
-		res.Stats.QueuePops += r.Stats.QueuePops
-		res.Stats.PrunedClients += r.Stats.PrunedClients
-		if !r.Found {
-			break
-		}
-		res.Answers = append(res.Answers, r.Answer)
-		res.PerStep = append(res.PerStep, r.Objective)
-		existing = append(existing, r.Answer)
-		kept := remaining[:0]
-		for _, c := range remaining {
-			if c != r.Answer {
-				kept = append(kept, c)
-			}
-		}
-		remaining = kept
-	}
-	if len(res.PerStep) > 0 {
-		res.Objective = res.PerStep[len(res.PerStep)-1]
-	} else {
-		res.Objective = math.NaN()
-	}
-	return res, nil
+	return r.Multi, nil
 }
+
+// noMultiResult is the canonical "no selection possible" MultiResult: no
+// answers and a NaN objective, matching the single-facility noResult
+// convention.
+func noMultiResult() MultiResult { return MultiResult{Objective: math.NaN()} }
 
 // SolveBruteMulti computes the exact joint k-facility MinMax optimum by
 // enumerating every size-k candidate subset on the door-to-door graph.

@@ -15,44 +15,38 @@ import (
 // every hook site is a single nil comparison and no Span is built, so the
 // disabled path adds zero allocations (asserted by
 // TestNoopRecorderZeroAllocOverhead).
+//
+// Each entry point is a thin wrapper over Exec with Options.Recorder set.
 
 // SolveObserved is SolveContext with a span recorder attached to the
 // efficient (MinMax) solver.
 func SolveObserved(ctx context.Context, t *vip.Tree, q *Query, rec obs.Recorder) (Result, error) {
-	s := newEAState(t, q)
-	s.bindContext(ctx)
-	s.bindRecorder(rec)
-	return s.run()
+	r, err := Exec(ctx, t, q, Options{Objective: ObjMinMax, Recorder: rec})
+	return r.MinMax, err
 }
 
 // SolveBaselineObserved is SolveBaselineContext with a span recorder. The
 // baseline emits locate/queue-pop spans per client NN search, one prune
 // span per refinement round, and one answer-check span for Find_Ans.
 func SolveBaselineObserved(ctx context.Context, t *vip.Tree, q *Query, rec obs.Recorder) (Result, error) {
-	return solveBaseline(ctx, t, q, rec)
+	r, err := Exec(ctx, t, q, Options{Objective: ObjBaseline, Recorder: rec})
+	return r.MinMax, err
 }
 
 // SolveMinDistObserved is SolveMinDistContext with a span recorder.
 func SolveMinDistObserved(ctx context.Context, t *vip.Tree, q *Query, rec obs.Recorder) (ExtResult, error) {
-	return solveMinDist(ctx, t, q, rec)
+	r, err := Exec(ctx, t, q, Options{Objective: ObjMinDist, Recorder: rec})
+	return r.Ext, err
 }
 
 // SolveMaxSumObserved is SolveMaxSumContext with a span recorder.
 func SolveMaxSumObserved(ctx context.Context, t *vip.Tree, q *Query, rec obs.Recorder) (ExtResult, error) {
-	return solveMaxSum(ctx, t, q, rec)
+	r, err := Exec(ctx, t, q, Options{Objective: ObjMaxSum, Recorder: rec})
+	return r.Ext, err
 }
 
 // SolveTopKObserved is SolveTopKContext with a span recorder.
 func SolveTopKObserved(ctx context.Context, t *vip.Tree, q *Query, k int, rec obs.Recorder) ([]RankedCandidate, error) {
-	if k <= 0 || len(q.Clients) == 0 || len(q.Candidates) == 0 {
-		return nil, nil
-	}
-	s := newEAState(t, q)
-	s.bindContext(ctx)
-	s.bindRecorder(rec)
-	s.topK = k
-	if _, err := s.run(); err != nil {
-		return nil, err
-	}
-	return finishTopK(s, k), nil
+	r, err := Exec(ctx, t, q, Options{Objective: ObjTopK, K: k, Recorder: rec})
+	return r.TopK, err
 }

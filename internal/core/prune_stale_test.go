@@ -23,7 +23,7 @@ func pruneFixture(t *testing.T) *eaState {
 		Candidates: rooms[1:2],
 		Clients:    []Client{clientIn(v, rooms[2], 0), clientIn(v, rooms[3], 1)},
 	}
-	return newEAState(tree, q)
+	return newEAState(tree, q, nil)
 }
 
 // TestPruneSkipsStaleLargerKey: a key pushed before the client's bestExist
@@ -86,9 +86,9 @@ func TestExtPruneStaleKeyParity(t *testing.T) {
 		Clients:    []Client{clientIn(v, rooms[2], 0), clientIn(v, rooms[3], 1)},
 	}
 	var stats Stats
-	obj := newMinDistObj(len(q.Clients))
+	obj := newMinDistObj(len(q.Clients), nil)
 	obj.init(1)
-	s := newExtState(tree, q, obj, &stats)
+	s := newExtState(tree, q, obj, &stats, nil)
 
 	s.bestExist[0] = 5
 	s.pruneHeap.Push(0, 5)

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"github.com/indoorspatial/ifls/internal/indoor"
+	"github.com/indoorspatial/ifls/internal/pq"
+	"github.com/indoorspatial/ifls/internal/vip"
+)
+
+// Scratch owns the engine's reusable per-query working memory: the solver
+// state structs, their priority queues, the per-client bookkeeping slices,
+// and freelists for the small inner containers (per-partition client lists,
+// per-partition visited sets). Passing one Scratch to repeated Exec calls
+// keeps steady-state allocations near zero — each run resets lengths but
+// retains capacity — without changing any result: a reset Scratch is
+// observationally identical to freshly allocated state, including the
+// Stats the solvers report (the memory metric is computed from live
+// lengths, which a reset zeroes).
+//
+// A Scratch is a single-goroutine value: it may back at most one running
+// Exec at a time, and reusing it concurrently corrupts solver state. Pool
+// Scratches (sync.Pool or one per worker) for concurrent callers;
+// internal/batch does exactly that. The zero value is ready to use.
+//
+// Scratch never retains caller-visible memory: result slices that escape
+// (the top-k ranking) are always freshly allocated, and the explorer cache
+// is cleared between runs unless the caller supplies its own persistent
+// cache (Session does).
+type Scratch struct {
+	// Solver state shells — reused in place so a pooled run allocates no
+	// state struct at all.
+	ea  eaState
+	ext extState
+	md  minDistObj
+	ms  maxSumObj
+
+	// Priority queues, shared by whichever state is running (states never
+	// run concurrently on one Scratch).
+	queue     pq.Queue[eaEntry]
+	events    pq.Queue[eaEvent]
+	pruneHeap pq.Queue[int]
+	satHeap   pq.Queue[int]
+	pending   pq.Queue[pendPair]
+
+	// explorers is the scratch-owned explorer cache, cleared every run so
+	// pooled queries report the same Stats as fresh ones. Session bypasses
+	// it with its own persistent cache.
+	explorers map[indoor.PartitionID]*vip.Explorer
+
+	// Freelists for inner containers harvested from the previous run's
+	// maps: per-partition client index lists and per-partition visited
+	// node sets.
+	intLists [][]int
+	nodeSets []map[vip.NodeID]bool
+}
+
+// NewScratch returns an empty Scratch. Equivalent to new(Scratch); the
+// containers are grown lazily by the first run.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// takeIntList pops a recycled client-index list ([:0], capacity retained),
+// or returns nil so the caller's append allocates one to be recycled later.
+func (sc *Scratch) takeIntList() []int {
+	if n := len(sc.intLists); n > 0 {
+		l := sc.intLists[n-1]
+		sc.intLists[n-1] = nil
+		sc.intLists = sc.intLists[:n-1]
+		return l
+	}
+	return nil
+}
+
+// recycleIntLists harvests every inner list of a per-partition map into the
+// freelist and clears the map in place.
+func (sc *Scratch) recycleIntLists(m map[indoor.PartitionID][]int) {
+	for _, l := range m {
+		if cap(l) > 0 {
+			sc.intLists = append(sc.intLists, l[:0])
+		}
+	}
+	clear(m)
+}
+
+// takeNodeSet pops a recycled (already cleared) visited set or makes one.
+func (sc *Scratch) takeNodeSet() map[vip.NodeID]bool {
+	if n := len(sc.nodeSets); n > 0 {
+		m := sc.nodeSets[n-1]
+		sc.nodeSets[n-1] = nil
+		sc.nodeSets = sc.nodeSets[:n-1]
+		return m
+	}
+	return make(map[vip.NodeID]bool)
+}
+
+// recycleNodeSets harvests every visited set of a per-partition map into the
+// freelist (cleared now, so takeNodeSet hands them out ready) and clears the
+// map in place.
+func (sc *Scratch) recycleNodeSets(m map[indoor.PartitionID]map[vip.NodeID]bool) {
+	for _, set := range m {
+		clear(set)
+		sc.nodeSets = append(sc.nodeSets, set)
+	}
+	clear(m)
+}
+
+// reuseMap clears a retained map in place, or makes one on first use.
+func reuseMap[K comparable, V any](m map[K]V) map[K]V {
+	if m == nil {
+		return make(map[K]V)
+	}
+	clear(m)
+	return m
+}
+
+// resize returns s with length n and every element zeroed, retaining the
+// backing array when it is large enough. resize(nil, n) is make([]T, n).
+func resize[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// resizeLists returns s with length n and every inner slice truncated to
+// [:0], retaining inner capacity. Inner slices parked beyond the previous
+// length (after a shrink) are recovered when the outer slice regrows.
+func resizeLists[T any](s [][]T, n int) [][]T {
+	if cap(s) < n {
+		ns := make([][]T, n)
+		copy(ns, s[:cap(s)])
+		s = ns
+	} else {
+		s = s[:n]
+	}
+	for i := range s {
+		s[i] = s[i][:0]
+	}
+	return s
+}
+
+// resizeMaps returns s with length n, clearing every retained inner map in
+// place. New (or grown-into) entries are nil; callers lazily make them, so
+// the fresh-allocation path is unchanged.
+func resizeMaps[K comparable, V any](s []map[K]V, n int) []map[K]V {
+	if cap(s) < n {
+		ns := make([]map[K]V, n)
+		copy(ns, s[:cap(s)])
+		s = ns
+	} else {
+		s = s[:n]
+	}
+	for i := range s {
+		if s[i] != nil {
+			clear(s[i])
+		}
+	}
+	return s
+}

@@ -13,23 +13,39 @@ import (
 // the traversal (the vip.Explorer memos) depend only on the venue, not on
 // the clients or facilities, so a Session retains them across queries: the
 // first query warms the cache and subsequent queries skip most of the
-// matrix propagation work.
+// matrix propagation work. A Session also owns a private Scratch, so its
+// steady-state queries run at near-zero allocations (pinned by
+// TestSessionSolveAllocBound).
 //
 // Concurrency: a Session is a single-goroutine value — every query method
-// reads and grows the shared explorer cache, so no Session method may run
-// concurrently with another on the same Session. Use one Session per
-// goroutine; Sessions may share the underlying tree, which is read-only.
-// For concurrent batches over one tree, use internal/batch (stateless per
-// query) or give each worker its own Session.
+// reads and grows the shared explorer cache and reuses the same Scratch, so
+// no Session method may run concurrently with another on the same Session.
+// Use one Session per goroutine; Sessions may share the underlying tree,
+// which is read-only. For concurrent batches over one tree, use
+// internal/batch (pooled Scratches per worker) or give each worker its own
+// Session.
 type Session struct {
 	t         *vip.Tree
 	explorers map[indoor.PartitionID]*vip.Explorer
+	scratch   *Scratch
 }
 
 // NewSession creates a Session over an index. Safe to call concurrently
 // on a shared tree; the returned Session itself is single-goroutine.
 func NewSession(t *vip.Tree) *Session {
-	return &Session{t: t, explorers: make(map[indoor.PartitionID]*vip.Explorer)}
+	return &Session{
+		t:         t,
+		explorers: make(map[indoor.PartitionID]*vip.Explorer),
+		scratch:   NewScratch(),
+	}
+}
+
+// exec runs one engine call backed by the session's Scratch and persistent
+// explorer cache.
+func (s *Session) exec(ctx context.Context, q *Query, o Options) (ExecResult, error) {
+	o.Scratch = s.scratch
+	o.explorers = s.explorers
+	return Exec(ctx, s.t, q, o)
 }
 
 // Solve answers a MinMax IFLS query with the efficient approach, reusing
@@ -46,23 +62,58 @@ func (s *Session) Solve(q *Query) Result {
 // valid and are reused by later queries. Single-goroutine, per the Session
 // contract.
 func (s *Session) SolveContext(ctx context.Context, q *Query) (Result, error) {
-	st := newEAState(s.t, q)
-	st.explorers = s.explorers
-	st.bindContext(ctx)
-	return st.run()
+	r, err := s.exec(ctx, q, Options{Objective: ObjMinMax})
+	return r.MinMax, err
 }
 
 // SolveTopK is SolveTopK with the session's cache. Single-goroutine, per
 // the Session contract.
 func (s *Session) SolveTopK(q *Query, k int) []RankedCandidate {
-	if k <= 0 || len(q.Clients) == 0 || len(q.Candidates) == 0 {
-		return nil
-	}
-	st := newEAState(s.t, q)
-	st.explorers = s.explorers
-	st.topK = k
-	st.run()
-	return finishTopK(st, k)
+	r, _ := s.exec(context.Background(), q, Options{Objective: ObjTopK, K: k})
+	return r.TopK
+}
+
+// SolveMinDist is SolveMinDist with the session's cache. Single-goroutine,
+// per the Session contract.
+func (s *Session) SolveMinDist(q *Query) ExtResult {
+	r, _ := s.SolveMinDistContext(context.Background(), q)
+	return r
+}
+
+// SolveMinDistContext is SolveMinDistContext with the session's cache.
+// Single-goroutine, per the Session contract.
+func (s *Session) SolveMinDistContext(ctx context.Context, q *Query) (ExtResult, error) {
+	r, err := s.exec(ctx, q, Options{Objective: ObjMinDist})
+	return r.Ext, err
+}
+
+// SolveMaxSum is SolveMaxSum with the session's cache. Single-goroutine,
+// per the Session contract.
+func (s *Session) SolveMaxSum(q *Query) ExtResult {
+	r, _ := s.SolveMaxSumContext(context.Background(), q)
+	return r
+}
+
+// SolveMaxSumContext is SolveMaxSumContext with the session's cache.
+// Single-goroutine, per the Session contract.
+func (s *Session) SolveMaxSumContext(ctx context.Context, q *Query) (ExtResult, error) {
+	r, err := s.exec(ctx, q, Options{Objective: ObjMaxSum})
+	return r.Ext, err
+}
+
+// SolveMulti is SolveGreedyMulti with the session's cache: each greedy
+// round reuses both the explorer memos and the Scratch. Single-goroutine,
+// per the Session contract.
+func (s *Session) SolveMulti(q *Query, k int) MultiResult {
+	r, _ := s.SolveMultiContext(context.Background(), q, k)
+	return r
+}
+
+// SolveMultiContext is SolveGreedyMultiContext with the session's cache.
+// Single-goroutine, per the Session contract.
+func (s *Session) SolveMultiContext(ctx context.Context, q *Query, k int) (MultiResult, error) {
+	r, err := s.exec(ctx, q, Options{Objective: ObjMulti, K: k})
+	return r.Multi, err
 }
 
 // CachedPartitions reports how many partition explorers the session holds.

@@ -35,18 +35,13 @@ func SolveTopK(t *vip.Tree, q *Query, k int) []RankedCandidate {
 
 // SolveTopKContext is SolveTopK with cooperative cancellation; see
 // SolveContext for the checkpoint contract. The partial ranking is
-// discarded on cancellation.
+// discarded on cancellation. A thin wrapper over Exec with ObjTopK.
 func SolveTopKContext(ctx context.Context, t *vip.Tree, q *Query, k int) ([]RankedCandidate, error) {
-	if k <= 0 || len(q.Clients) == 0 || len(q.Candidates) == 0 {
-		return nil, nil
-	}
-	s := newEAState(t, q)
-	s.bindContext(ctx)
-	s.topK = k
-	if _, err := s.run(); err != nil {
+	r, err := Exec(ctx, t, q, Options{Objective: ObjTopK, K: k})
+	if err != nil {
 		return nil, err
 	}
-	return finishTopK(s, k), nil
+	return r.TopK, nil
 }
 
 func finishTopK(s *eaState, k int) []RankedCandidate {

@@ -127,3 +127,10 @@ type Result struct {
 func noResult() Result {
 	return Result{Found: false, Answer: indoor.NoPartition, Objective: math.NaN()}
 }
+
+// noExtResult is the canonical "no improving candidate" result for the
+// Section 7 extension objectives, mirroring noResult: no answer partition
+// and a NaN objective.
+func noExtResult() ExtResult {
+	return ExtResult{Answer: indoor.NoPartition, Objective: math.NaN()}
+}

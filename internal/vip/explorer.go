@@ -91,6 +91,17 @@ func (e *Explorer) PointOffsets(pt geom.Point) []float64 {
 	return out
 }
 
+// PointOffsetsAppend appends the same per-door offsets PointOffsets
+// computes to dst and returns the extended slice. Query engines that pool
+// scratch memory pass a zero-length slice with retained capacity, so a warm
+// buffer computes the offsets without allocating.
+func (e *Explorer) PointOffsetsAppend(dst []float64, pt geom.Point) []float64 {
+	for _, d := range e.srcDoors {
+		dst = append(dst, e.t.venue.PointDoorDist(e.src, pt, d))
+	}
+	return dst
+}
+
 // ADVec returns the distance rows from each source door to each access door
 // of node n. The returned slices are owned by the Explorer; callers must not
 // modify them.
