@@ -209,7 +209,9 @@ func solveBaseline(ctx context.Context, t *vip.Tree, q *Query, rec obs.Recorder)
 				obj = d
 			}
 		}
-		if obj < bestObj {
+		// Equal objectives resolve to the lowest candidate ID, the
+		// tie-break every answer path shares.
+		if obj < bestObj || (obj == bestObj && n < best) {
 			best, bestObj = n, obj
 		}
 	}

@@ -69,7 +69,9 @@ func SolveBruteContext(ctx context.Context, g *d2d.Graph, q *Query) (BruteResult
 			}
 		}
 		res.Objectives[j] = obj
-		if obj < bestObj {
+		// Equal objectives resolve to the lowest candidate ID, the
+		// tie-break every answer path shares (see internal/difftest).
+		if obj < bestObj || (obj == bestObj && bestIdx >= 0 && q.Candidates[j] < q.Candidates[bestIdx]) {
 			bestObj, bestIdx = obj, j
 		}
 	}

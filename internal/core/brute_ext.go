@@ -128,7 +128,9 @@ func SolveBruteMinDistContext(ctx context.Context, g *d2d.Graph, q *Query) (Brut
 			total += math.Min(nnExist[ci], distTo[ci][k])
 		}
 		res.PerCandidate[j] = total
-		if total < bestTotal {
+		// Equal totals resolve to the lowest candidate ID, the tie-break
+		// every answer path shares.
+		if total < bestTotal || (total == bestTotal && best >= 0 && q.Candidates[j] < q.Candidates[best]) {
 			best, bestTotal = j, total
 		}
 	}
@@ -169,7 +171,9 @@ func SolveBruteMaxSumContext(ctx context.Context, g *d2d.Graph, q *Query) (Brute
 			}
 		}
 		res.PerCandidate[j] = float64(count)
-		if count > bestCount {
+		// Equal capture counts resolve to the lowest candidate ID, the
+		// tie-break every answer path shares.
+		if count > bestCount || (count == bestCount && best >= 0 && q.Candidates[j] < q.Candidates[best]) {
 			best, bestCount = j, count
 		}
 	}

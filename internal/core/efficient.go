@@ -439,8 +439,16 @@ func (s *eaState) activate(ev eaEvent) {
 }
 
 // checkAnswer looks for a candidate covering every remaining client within
-// the bound. Among covering candidates it returns the one whose maximum
-// distance to the remaining clients is smallest.
+// the bound. Every covering candidate at the first such bound is an exact
+// objective tie: its remaining clients are within d_low, every pruned
+// client contributes at most its nearest-existing distance <= d_low, and no
+// candidate can be below the optimum d_low — so the objective of each is
+// exactly d_low. Among these ties the lowest candidate ID wins, the
+// tie-break every answer path shares (see internal/difftest). Selecting by
+// smallest max-distance-to-remaining-clients instead (as this scan once
+// did) picks an arbitrary member of the tie class: the remaining-client
+// maximum ignores the pruned clients that actually pin the objective, as
+// the CPH tie in difftest.TestCPHTieBreakParity demonstrates.
 func (s *eaState) checkAnswer(bound float64) (indoor.PartitionID, bool) {
 	if s.activeCount == 0 {
 		// Every client is within bound of an existing facility: no
@@ -454,22 +462,12 @@ func (s *eaState) checkAnswer(bound float64) (indoor.PartitionID, bool) {
 		return indoor.NoPartition, false
 	}
 	best := indoor.NoPartition
-	bestMax := math.Inf(1)
 	for k, n := range s.q.Candidates {
 		if s.covered[k] != s.activeCount {
 			continue
 		}
-		maxd := 0.0
-		for ci := range s.q.Clients {
-			if !s.active[ci] {
-				continue
-			}
-			if d := s.candDist[ci][n]; d > maxd {
-				maxd = d
-			}
-		}
-		if maxd < bestMax {
-			best, bestMax = n, maxd
+		if best == indoor.NoPartition || n < best {
+			best = n
 		}
 	}
 	if best != indoor.NoPartition {
@@ -591,6 +589,22 @@ func (s *eaState) run() (Result, error) {
 
 		if !s.isFirst {
 			s.isFirst = s.checkList(s.gd)
+			if s.isFirst {
+				// First transition to the stepping phase: pairs at or
+				// below the current horizon d_low must be activated and
+				// answer-checked here, exactly as the preamble does at
+				// d_low = 0. step only reports progress when d_low
+				// strictly advances, so a candidate retrieved at
+				// d == d_low (e.g. a client standing at the door of a
+				// candidate partition, Gd = 0) would otherwise be
+				// activated silently and its coverage never checked
+				// before later pruning rolls it back.
+				s.prune(s.dlow)
+				s.drainEvents(s.dlow)
+				if r, done := s.answerCheck(); done {
+					return r, nil
+				}
+			}
 		}
 		if !s.isFirst {
 			s.prune(s.gd)

@@ -195,7 +195,7 @@ func execMinDist(ctx context.Context, t *vip.Tree, q *Query, o Options) (ExecRes
 	}
 	s.bindContext(ctx)
 	s.bindRecorder(o.Recorder)
-	obj.init(len(s.cands))
+	obj.init(s.cands)
 	k, err := s.run()
 	if err != nil {
 		return ExecResult{}, err
@@ -220,7 +220,7 @@ func execMaxSum(ctx context.Context, t *vip.Tree, q *Query, o Options) (ExecResu
 	}
 	s.bindContext(ctx)
 	s.bindRecorder(o.Recorder)
-	obj.init(len(s.cands))
+	obj.init(s.cands)
 	k, err := s.run()
 	if err != nil {
 		return ExecResult{}, err

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 
+	"github.com/indoorspatial/ifls/internal/indoor"
 	"github.com/indoorspatial/ifls/internal/pq"
 	"github.com/indoorspatial/ifls/internal/vip"
 )
@@ -42,6 +43,7 @@ func SolveMaxSumContext(ctx context.Context, t *vip.Tree, q *Query) (ExtResult, 
 
 type maxSumObj struct {
 	m          int
+	ids        []indoor.PartitionID
 	captured   []int
 	decided    []int
 	pending    *pq.Queue[pendPair]
@@ -82,7 +84,9 @@ func newMaxSumObj(m int, sc *Scratch) *maxSumObj {
 	return o
 }
 
-func (o *maxSumObj) init(nc int) {
+func (o *maxSumObj) init(cands []indoor.PartitionID) {
+	o.ids = cands
+	nc := len(cands)
 	o.captured = resize(o.captured, nc)
 	o.decided = resize(o.decided, nc)
 }
@@ -133,7 +137,12 @@ func (o *maxSumObj) boundAdvanced(gd float64) {
 func (o *maxSumObj) answer(gd float64) (int, bool) {
 	best, bestCount := -1, -1
 	for k := range o.captured {
-		if o.decided[k] == o.m && o.captured[k] > bestCount {
+		if o.decided[k] != o.m {
+			continue
+		}
+		// Equal capture counts resolve to the lowest candidate ID — the
+		// tie-break every answer path shares.
+		if o.captured[k] > bestCount || (o.captured[k] == bestCount && best >= 0 && o.ids[k] < o.ids[best]) {
 			best, bestCount = k, o.captured[k]
 		}
 	}
@@ -144,8 +153,13 @@ func (o *maxSumObj) answer(gd float64) (int, bool) {
 		return best, true
 	}
 	for k := range o.captured {
+		if k == best {
+			continue
+		}
 		ub := o.captured[k] + (o.m - o.decided[k])
-		if k != best && ub > bestCount {
+		// An undecided candidate that could still tie the best count is only
+		// a threat when it would win the lowest-ID tie-break.
+		if ub > bestCount || (ub == bestCount && o.ids[k] < o.ids[best]) {
 			return -1, false
 		}
 	}

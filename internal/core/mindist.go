@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 
+	"github.com/indoorspatial/ifls/internal/indoor"
 	"github.com/indoorspatial/ifls/internal/pq"
 	"github.com/indoorspatial/ifls/internal/vip"
 )
@@ -50,6 +51,7 @@ type pendPair struct {
 
 type minDistObj struct {
 	m            int
+	ids          []indoor.PartitionID
 	sumExact     []float64
 	settledCount []int
 	capturedAny  []bool
@@ -96,10 +98,14 @@ func newMinDistObj(m int, sc *Scratch) *minDistObj {
 	return o
 }
 
-// init sizes the per-candidate accumulators. resize(nil, nc) is
-// make([]T, nc), so the fresh path allocates exactly as before; on a reused
-// objective the retained arrays are zeroed in place.
-func (o *minDistObj) init(nc int) {
+// init sizes the per-candidate accumulators and records the candidate IDs
+// (index-aligned with the traversal's deduplicated candidate list) for the
+// lowest-ID tie-break. resize(nil, nc) is make([]T, nc), so the fresh path
+// allocates exactly as before; on a reused objective the retained arrays are
+// zeroed in place.
+func (o *minDistObj) init(cands []indoor.PartitionID) {
+	nc := len(cands)
+	o.ids = cands
 	o.sumExact = resize(o.sumExact, nc)
 	o.settledCount = resize(o.settledCount, nc)
 	o.capturedAny = resize(o.capturedAny, nc)
@@ -157,7 +163,12 @@ func (o *minDistObj) boundAdvanced(gd float64) {
 func (o *minDistObj) answer(gd float64) (int, bool) {
 	best, bestTotal := -1, math.Inf(1)
 	for k := range o.sumExact {
-		if o.settledCount[k] == o.m && o.sumExact[k] < bestTotal {
+		if o.settledCount[k] != o.m {
+			continue
+		}
+		// Equal totals resolve to the lowest candidate ID — the tie-break
+		// every answer path shares.
+		if o.sumExact[k] < bestTotal || (o.sumExact[k] == bestTotal && best >= 0 && o.ids[k] < o.ids[best]) {
 			best, bestTotal = k, o.sumExact[k]
 		}
 	}
@@ -168,8 +179,13 @@ func (o *minDistObj) answer(gd float64) (int, bool) {
 		return best, true
 	}
 	for k := range o.sumExact {
+		if k == best {
+			continue
+		}
 		lb := o.sumExact[k] + float64(o.m-o.settledCount[k])*gd
-		if k != best && lb < bestTotal {
+		// An unsettled candidate that could still tie the best total is only
+		// a threat when it would win the lowest-ID tie-break.
+		if lb < bestTotal || (lb == bestTotal && o.ids[k] < o.ids[best]) {
 			return -1, false
 		}
 	}

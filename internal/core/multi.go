@@ -91,6 +91,10 @@ func SolveBruteMulti(g *d2d.Graph, q *Query, k int) MultiResult {
 				obj = d
 			}
 		}
+		// Combinations are enumerated in lexicographic index order, so on an
+		// exact objective tie the first subset found is kept: the selection
+		// is the lexicographically smallest candidate-index set, which makes
+		// the joint oracle deterministic.
 		if obj < best {
 			best = obj
 			bestSet = append(bestSet[:0], idx...)

@@ -87,7 +87,7 @@ func TestExtPruneStaleKeyParity(t *testing.T) {
 	}
 	var stats Stats
 	obj := newMinDistObj(len(q.Clients), nil)
-	obj.init(1)
+	obj.init(q.Candidates[:1])
 	s := newExtState(tree, q, obj, &stats, nil)
 
 	s.bestExist[0] = 5

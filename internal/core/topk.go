@@ -45,7 +45,15 @@ func SolveTopKContext(ctx context.Context, t *vip.Tree, q *Query, k int) ([]Rank
 }
 
 func finishTopK(s *eaState, k int) []RankedCandidate {
-	sort.SliceStable(s.ranked, func(i, j int) bool { return s.ranked[i].Objective < s.ranked[j].Objective })
+	// Order by (objective, candidate ID): equal objectives resolve to the
+	// lowest candidate ID, so truncating to k keeps a stable prefix of the
+	// full ranking — the tie-break every answer path shares.
+	sort.SliceStable(s.ranked, func(i, j int) bool {
+		if s.ranked[i].Objective != s.ranked[j].Objective {
+			return s.ranked[i].Objective < s.ranked[j].Objective
+		}
+		return s.ranked[i].Candidate < s.ranked[j].Candidate
+	})
 	if len(s.ranked) > k {
 		// The final d_low step may add several covering candidates at
 		// once (they tie on the objective); keep the k best.

@@ -1,0 +1,234 @@
+package difftest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/indoorspatial/ifls/internal/core"
+	"github.com/indoorspatial/ifls/internal/geom"
+	"github.com/indoorspatial/ifls/internal/indoor"
+)
+
+// The corpus format is a fixed little-endian binary layout so that go-fuzz
+// mutations stay structure-adjacent: magic, objective, K, partitions
+// (kind, level, rect, stair length), doors (endpoints, location), then the
+// query (existing, candidates, clients). Decode rebuilds the venue through
+// indoor.Builder and validates the query, so any mutated input either
+// round-trips into a fully valid Case or is rejected — never clamped.
+var corpusMagic = []byte("IFLSDT1\n")
+
+// Size caps keep fuzzing fast and shrunk reproducers small.
+const (
+	maxParts   = 256
+	maxDoors   = 1024
+	maxFacs    = 256
+	maxClients = 256
+)
+
+// Encode serializes a Case into the corpus format.
+func Encode(c Case) []byte {
+	var buf bytes.Buffer
+	buf.Write(corpusMagic)
+	w := func(v any) { binary.Write(&buf, binary.LittleEndian, v) }
+	w(uint8(c.Obj))
+	w(uint16(c.K))
+
+	w(uint16(len(c.Venue.Partitions)))
+	for i := range c.Venue.Partitions {
+		p := &c.Venue.Partitions[i]
+		w(uint8(p.Kind))
+		w(int32(p.Level()))
+		w(p.Rect.Min.X)
+		w(p.Rect.Min.Y)
+		w(p.Rect.Max.X)
+		w(p.Rect.Max.Y)
+		w(p.StairLength)
+	}
+	w(uint16(len(c.Venue.Doors)))
+	for i := range c.Venue.Doors {
+		d := &c.Venue.Doors[i]
+		w(int32(d.A))
+		w(int32(d.B))
+		w(d.Loc.X)
+		w(d.Loc.Y)
+		w(int32(d.Loc.Level))
+	}
+
+	w(uint16(len(c.Query.Existing)))
+	for _, f := range c.Query.Existing {
+		w(int32(f))
+	}
+	w(uint16(len(c.Query.Candidates)))
+	for _, f := range c.Query.Candidates {
+		w(int32(f))
+	}
+	w(uint16(len(c.Query.Clients)))
+	for _, cl := range c.Query.Clients {
+		w(cl.ID)
+		w(int32(cl.Part))
+		w(cl.Loc.X)
+		w(cl.Loc.Y)
+		w(int32(cl.Loc.Level))
+	}
+	return buf.Bytes()
+}
+
+// Decode parses corpus bytes back into a Case. It rebuilds the venue through
+// the Builder (re-running all structural validation, including connectivity)
+// and validates the query against it; any failure returns an error so fuzz
+// targets can skip the input.
+func Decode(data []byte) (Case, error) {
+	if !bytes.HasPrefix(data, corpusMagic) {
+		return Case{}, fmt.Errorf("difftest: bad corpus magic")
+	}
+	r := bytes.NewReader(data[len(corpusMagic):])
+	var err error
+	rd := func(v any) {
+		if err == nil {
+			err = binary.Read(r, binary.LittleEndian, v)
+		}
+	}
+	var objB uint8
+	var k uint16
+	rd(&objB)
+	rd(&k)
+	if objB >= 6 {
+		return Case{}, fmt.Errorf("difftest: objective %d out of range", objB)
+	}
+
+	var np uint16
+	rd(&np)
+	if err != nil {
+		return Case{}, err
+	}
+	if np == 0 || np > maxParts {
+		return Case{}, fmt.Errorf("difftest: partition count %d out of range", np)
+	}
+	b := indoor.NewBuilder("corpus")
+	for i := 0; i < int(np); i++ {
+		var kind uint8
+		var level int32
+		var x0, y0, x1, y1, stairLen float64
+		rd(&kind)
+		rd(&level)
+		rd(&x0)
+		rd(&y0)
+		rd(&x1)
+		rd(&y1)
+		rd(&stairLen)
+		if err != nil {
+			return Case{}, err
+		}
+		for _, v := range []float64{x0, y0, x1, y1, stairLen} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return Case{}, fmt.Errorf("difftest: non-finite partition geometry")
+			}
+		}
+		if level < 0 || level > 16 {
+			return Case{}, fmt.Errorf("difftest: level %d out of range", level)
+		}
+		rect := geom.R(x0, y0, x1, y1, int(level))
+		name := fmt.Sprintf("p%d", i)
+		switch indoor.Kind(kind) {
+		case indoor.Room:
+			b.AddRoom(rect, name, "")
+		case indoor.Corridor:
+			b.AddCorridor(rect, name)
+		case indoor.Stair:
+			b.AddStair(rect, name, stairLen)
+		default:
+			return Case{}, fmt.Errorf("difftest: unknown partition kind %d", kind)
+		}
+	}
+	var nd uint16
+	rd(&nd)
+	if err != nil {
+		return Case{}, err
+	}
+	if nd > maxDoors {
+		return Case{}, fmt.Errorf("difftest: door count %d out of range", nd)
+	}
+	for i := 0; i < int(nd); i++ {
+		var a, bID, level int32
+		var x, y float64
+		rd(&a)
+		rd(&bID)
+		rd(&x)
+		rd(&y)
+		rd(&level)
+		if err != nil {
+			return Case{}, err
+		}
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) {
+			return Case{}, fmt.Errorf("difftest: non-finite door location")
+		}
+		if a < 0 || a >= int32(np) || bID < int32(indoor.NoPartition) || bID >= int32(np) {
+			return Case{}, fmt.Errorf("difftest: door %d endpoints out of range", i)
+		}
+		b.AddDoor(geom.Pt(x, y, int(level)), indoor.PartitionID(a), indoor.PartitionID(bID))
+	}
+	v, berr := b.Build()
+	if berr != nil {
+		return Case{}, berr
+	}
+
+	q := &core.Query{}
+	var ne, nc, ncl uint16
+	rd(&ne)
+	if err != nil {
+		return Case{}, err
+	}
+	if ne > maxFacs {
+		return Case{}, fmt.Errorf("difftest: existing count %d out of range", ne)
+	}
+	for i := 0; i < int(ne); i++ {
+		var f int32
+		rd(&f)
+		q.Existing = append(q.Existing, indoor.PartitionID(f))
+	}
+	rd(&nc)
+	if err != nil {
+		return Case{}, err
+	}
+	if nc > maxFacs {
+		return Case{}, fmt.Errorf("difftest: candidate count %d out of range", nc)
+	}
+	for i := 0; i < int(nc); i++ {
+		var f int32
+		rd(&f)
+		q.Candidates = append(q.Candidates, indoor.PartitionID(f))
+	}
+	rd(&ncl)
+	if err != nil {
+		return Case{}, err
+	}
+	if ncl > maxClients {
+		return Case{}, fmt.Errorf("difftest: client count %d out of range", ncl)
+	}
+	for i := 0; i < int(ncl); i++ {
+		var id, part, level int32
+		var x, y float64
+		rd(&id)
+		rd(&part)
+		rd(&x)
+		rd(&y)
+		rd(&level)
+		q.Clients = append(q.Clients, core.Client{
+			ID:   id,
+			Part: indoor.PartitionID(part),
+			Loc:  geom.Pt(x, y, int(level)),
+		})
+	}
+	if err != nil {
+		return Case{}, err
+	}
+	if r.Len() != 0 {
+		return Case{}, fmt.Errorf("difftest: %d trailing bytes", r.Len())
+	}
+	if verr := q.Validate(v); verr != nil {
+		return Case{}, verr
+	}
+	return Case{Venue: v, Query: q, Obj: core.Objective(objB), K: int(k)}, nil
+}

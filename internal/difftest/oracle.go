@@ -1,0 +1,189 @@
+package difftest
+
+import (
+	"math"
+
+	"github.com/indoorspatial/ifls/internal/core"
+	"github.com/indoorspatial/ifls/internal/d2d"
+	"github.com/indoorspatial/ifls/internal/indoor"
+)
+
+// oracle holds the dense client × facility distance matrix recomputed
+// independently on the door-to-door graph (one Dijkstra-backed
+// PointToPartition call per pair), plus the derived per-objective reference
+// values. It shares no code with the VIP-tree answer paths beyond the venue
+// itself.
+type oracle struct {
+	q  *core.Query
+	ne int         // len(q.Existing); candidate j is column ne+j
+	d  [][]float64 // client × (Existing ++ Candidates)
+	nn []float64   // nearest existing facility per client (+Inf if none)
+}
+
+func newOracle(g *d2d.Graph, q *core.Query) *oracle {
+	o := &oracle{q: q, ne: len(q.Existing)}
+	facs := make([]indoor.PartitionID, 0, o.ne+len(q.Candidates))
+	facs = append(facs, q.Existing...)
+	facs = append(facs, q.Candidates...)
+	o.d = make([][]float64, len(q.Clients))
+	o.nn = make([]float64, len(q.Clients))
+	for ci, c := range q.Clients {
+		row := make([]float64, len(facs))
+		for j, f := range facs {
+			row[j] = g.PointToPartition(c.Loc, c.Part, f)
+		}
+		o.d[ci] = row
+		nn := math.Inf(1)
+		for j := 0; j < o.ne; j++ {
+			if row[j] < nn {
+				nn = row[j]
+			}
+		}
+		o.nn[ci] = nn
+	}
+	return o
+}
+
+// minmaxObj is candidate j's exact MinMax objective.
+func (o *oracle) minmaxObj(j int) float64 {
+	obj := 0.0
+	for ci := range o.d {
+		if d := math.Min(o.nn[ci], o.d[ci][o.ne+j]); d > obj {
+			obj = d
+		}
+	}
+	return obj
+}
+
+// sumObj is candidate j's exact MinDist objective (total distance).
+func (o *oracle) sumObj(j int) float64 {
+	total := 0.0
+	for ci := range o.d {
+		total += math.Min(o.nn[ci], o.d[ci][o.ne+j])
+	}
+	return total
+}
+
+// captures counts candidate j's captured clients twice: certainly captured
+// (clearly inside the nearest-existing distance) and possibly captured
+// (inside it up to floating-point noise). The engine's count must land in
+// [certain, possible] — pairs on the knife edge may resolve either way
+// because the engine and the oracle accumulate the distance differently.
+func (o *oracle) captures(j int) (certain, possible int) {
+	for ci := range o.d {
+		d, nn := o.d[ci][o.ne+j], o.nn[ci]
+		t := tol(math.Max(math.Abs(d), math.Abs(nn)))
+		if d < nn-t {
+			certain++
+		}
+		if d < nn+t {
+			possible++
+		}
+	}
+	return certain, possible
+}
+
+// statusQuoMax is the MinMax objective with no new facility.
+func (o *oracle) statusQuoMax() float64 {
+	sq := 0.0
+	for _, d := range o.nn {
+		if d > sq {
+			sq = d
+		}
+	}
+	return sq
+}
+
+// statusQuoSum is the MinDist objective with no new facility.
+func (o *oracle) statusQuoSum() float64 {
+	sq := 0.0
+	for _, d := range o.nn {
+		sq += d
+	}
+	return sq
+}
+
+// bestBy returns the optimal candidate index and value under a per-candidate
+// objective, resolving exact ties to the lowest candidate ID (the rule every
+// answer path shares). lower reports whether a beats b.
+func (o *oracle) bestBy(obj func(int) float64, lower func(a, b float64) bool) (int, float64) {
+	best, bestVal := -1, math.NaN()
+	for j := range o.q.Candidates {
+		v := obj(j)
+		if best < 0 || lower(v, bestVal) ||
+			(v == bestVal && o.q.Candidates[j] < o.q.Candidates[best]) {
+			best, bestVal = j, v
+		}
+	}
+	return best, bestVal
+}
+
+// objOf returns the candidate metric for a given partition ID (the first
+// matching candidate column; duplicate IDs have identical columns).
+func (o *oracle) objOf(id indoor.PartitionID, obj func(int) float64) (float64, bool) {
+	for j, c := range o.q.Candidates {
+		if c == id {
+			return obj(j), true
+		}
+	}
+	return 0, false
+}
+
+// ranking builds the oracle's full top-k reference: every candidate, sorted
+// by (MinMax objective, candidate ID). Filtering against the status quo and
+// truncating to k happen in the comparator, where tolerance applies.
+type rankedRef struct {
+	id  indoor.PartitionID
+	obj float64
+}
+
+func (o *oracle) ranking() []rankedRef {
+	refs := make([]rankedRef, 0, len(o.q.Candidates))
+	for j, c := range o.q.Candidates {
+		refs = append(refs, rankedRef{id: c, obj: o.minmaxObj(j)})
+	}
+	// Insertion sort by (obj, id): candidate counts are tiny.
+	for i := 1; i < len(refs); i++ {
+		for k := i; k > 0; k-- {
+			if refs[k].obj < refs[k-1].obj ||
+				(refs[k].obj == refs[k-1].obj && refs[k].id < refs[k-1].id) {
+				refs[k], refs[k-1] = refs[k-1], refs[k]
+			} else {
+				break
+			}
+		}
+	}
+	return refs
+}
+
+// greedyStep evaluates one round of the greedy multi-facility reference on
+// the current per-client nearest distances cur: it returns the best
+// candidate index among remaining (lowest ID on exact ties) and its
+// objective. Chosen candidates are passed in as excluded indexes.
+func (o *oracle) greedyStep(cur []float64, excluded map[int]bool) (int, float64) {
+	best, bestVal := -1, math.Inf(1)
+	for j := range o.q.Candidates {
+		if excluded[j] {
+			continue
+		}
+		obj := 0.0
+		for ci := range o.d {
+			if d := math.Min(cur[ci], o.d[ci][o.ne+j]); d > obj {
+				obj = d
+			}
+		}
+		if obj < bestVal || (obj == bestVal && best >= 0 && o.q.Candidates[j] < o.q.Candidates[best]) {
+			best, bestVal = j, obj
+		}
+	}
+	return best, bestVal
+}
+
+// applyPick folds candidate j into the per-client nearest distances.
+func (o *oracle) applyPick(cur []float64, j int) {
+	for ci := range o.d {
+		if d := o.d[ci][o.ne+j]; d < cur[ci] {
+			cur[ci] = d
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package difftest
+
+import (
+	"math"
+	"testing"
+
+	"github.com/indoorspatial/ifls/internal/d2d"
+	"github.com/indoorspatial/ifls/internal/geom"
+	"github.com/indoorspatial/ifls/internal/indoor"
+	"github.com/indoorspatial/ifls/internal/vip"
+)
+
+// TestCrossLevelDistanceParity compares the two distance layers — the
+// VIP-tree (vip.Tree, the solvers' layer) and the flat door-graph Dijkstra
+// (d2d.Graph, the oracle's layer) — pairwise over venues with at least three
+// levels, from tie-prone source points (partition centers and door
+// locations) to every partition. Multi-level venues with two stair columns
+// have ambiguous cross-level routes, so any asymmetry between the layers'
+// route enumeration shows up here first.
+func TestCrossLevelDistanceParity(t *testing.T) {
+	checked := 0
+	for seed := int64(1); seed <= 40 && checked < 4; seed++ {
+		v := GenVenue(seed)
+		if v.Levels < 3 {
+			continue
+		}
+		checked++
+		tree := vip.MustBuild(v, vip.DefaultOptions())
+		g := d2d.New(v)
+		for i := range v.Partitions {
+			p := &v.Partitions[i]
+			pts := []geom.Point{
+				geom.Pt((p.Rect.Min.X+p.Rect.Max.X)/2, (p.Rect.Min.Y+p.Rect.Max.Y)/2, p.Level()),
+			}
+			for _, did := range p.Doors {
+				if d := v.Door(did); d.Loc.Level == p.Level() {
+					pts = append(pts, d.Loc)
+				}
+			}
+			for _, pt := range pts {
+				for j := range v.Partitions {
+					target := v.Partitions[j].ID
+					dv := tree.DistPointToPartition(pt, p.ID, target)
+					dg := g.PointToPartition(pt, p.ID, target)
+					if !closeVal(dv, dg) {
+						t.Fatalf("venue %s: point %v in p%d -> p%d: vip %v, d2d %v",
+							v.Name, pt, p.ID, target, dv, dg)
+					}
+				}
+			}
+		}
+	}
+	if checked < 4 {
+		t.Fatalf("only %d venues with >=3 levels in seed range; generator drifted", checked)
+	}
+}
+
+// disconnectedVenue builds a venue with two components that the Builder
+// would reject (it requires door-graph connectivity): rooms 0-1 joined on
+// level 0, rooms 2-3 joined on level 2, and no stair between them. Raw
+// struct assembly mirrors what Builder.Build produces for each component.
+func disconnectedVenue() *indoor.Venue {
+	v := &indoor.Venue{Name: "disconnected", Levels: 3}
+	add := func(r geom.Rect, name string) indoor.PartitionID {
+		id := indoor.PartitionID(len(v.Partitions))
+		v.Partitions = append(v.Partitions, indoor.Partition{
+			ID: id, Rect: r, Kind: indoor.Room, Name: name,
+		})
+		return id
+	}
+	door := func(loc geom.Point, a, b indoor.PartitionID) {
+		id := indoor.DoorID(len(v.Doors))
+		v.Doors = append(v.Doors, indoor.Door{ID: id, Loc: loc, A: a, B: b})
+		v.Partitions[a].Doors = append(v.Partitions[a].Doors, id)
+		v.Partitions[b].Doors = append(v.Partitions[b].Doors, id)
+	}
+	a0 := add(geom.R(0, 0, 5, 5, 0), "A0")
+	a1 := add(geom.R(5, 0, 10, 5, 0), "A1")
+	door(geom.Pt(5, 2.5, 0), a0, a1)
+	b0 := add(geom.R(0, 0, 5, 5, 2), "B0")
+	b1 := add(geom.R(5, 0, 10, 5, 2), "B1")
+	door(geom.Pt(5, 2.5, 2), b0, b1)
+	return v
+}
+
+// TestUnreachableParity: both distance layers must agree that partitions in
+// different components are at +Inf — and still answer in-component queries
+// exactly — rather than panicking or returning a large finite sentinel.
+func TestUnreachableParity(t *testing.T) {
+	v := disconnectedVenue()
+	tree, err := vip.Build(v, vip.DefaultOptions())
+	if err != nil {
+		t.Fatalf("vip.Build on disconnected venue: %v", err)
+	}
+	g := d2d.New(v)
+	pt := geom.Pt(2.5, 2.5, 0) // center of A0
+
+	for _, target := range []indoor.PartitionID{2, 3} {
+		dv := tree.DistPointToPartition(pt, 0, target)
+		dg := g.PointToPartition(pt, 0, target)
+		if !math.IsInf(dv, 1) || !math.IsInf(dg, 1) {
+			t.Fatalf("A0 -> p%d across components: vip %v, d2d %v, want +Inf from both", target, dv, dg)
+		}
+	}
+	// Same-component distances stay exact: center of A0 to A1 through the
+	// door at (5, 2.5) is 2.5.
+	dv := tree.DistPointToPartition(pt, 0, 1)
+	dg := g.PointToPartition(pt, 0, 1)
+	if dv != 2.5 || dg != 2.5 {
+		t.Fatalf("A0 -> A1: vip %v, d2d %v, want 2.5", dv, dg)
+	}
+}

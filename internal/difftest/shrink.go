@@ -1,0 +1,224 @@
+package difftest
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/indoorspatial/ifls/internal/core"
+	"github.com/indoorspatial/ifls/internal/indoor"
+)
+
+// Shrink greedily minimizes a failing case: while pred keeps returning true
+// (the disagreement persists), it drops clients, then candidates, then
+// existing facilities, then doors, then whole partitions (rebuilding the
+// venue and remapping IDs). Removals that would make the venue or query
+// invalid are skipped, so every intermediate case is well-formed. Passes
+// repeat until a full sweep removes nothing, which makes the result
+// 1-minimal: removing any single remaining element either breaks validity
+// or makes the disagreement disappear.
+//
+// pred must be deterministic; Shrink calls it O(total elements²) times in
+// the worst case, so it is intended for the small generated venues.
+func Shrink(c Case, pred func(Case) bool) Case {
+	if !pred(c) {
+		return c
+	}
+	for changed := true; changed; {
+		changed = false
+
+		// Query element passes: drop one element, keep the venue.
+		for i := 0; i < len(c.Query.Clients); {
+			t := cloneCase(c)
+			t.Query.Clients = append(t.Query.Clients[:i], t.Query.Clients[i+1:]...)
+			if try(t, pred) {
+				c, changed = t, true
+			} else {
+				i++
+			}
+		}
+		for i := 0; i < len(c.Query.Candidates); {
+			t := cloneCase(c)
+			t.Query.Candidates = append(t.Query.Candidates[:i], t.Query.Candidates[i+1:]...)
+			if try(t, pred) {
+				c, changed = t, true
+			} else {
+				i++
+			}
+		}
+		for i := 0; i < len(c.Query.Existing); {
+			t := cloneCase(c)
+			t.Query.Existing = append(t.Query.Existing[:i], t.Query.Existing[i+1:]...)
+			if try(t, pred) {
+				c, changed = t, true
+			} else {
+				i++
+			}
+		}
+
+		// Structural passes: drop a door, then a whole partition. Each
+		// rebuilds through the Builder, so connectivity and boundary rules
+		// re-validate; failing rebuilds are skipped.
+		for i := 0; i < len(c.Venue.Doors); {
+			if t, ok := removeDoor(c, i); ok && try(t, pred) {
+				c, changed = t, true
+			} else {
+				i++
+			}
+		}
+		for p := 0; p < len(c.Venue.Partitions); {
+			if t, ok := removePartition(c, indoor.PartitionID(p)); ok && try(t, pred) {
+				c, changed = t, true
+			} else {
+				p++
+			}
+		}
+	}
+	return c
+}
+
+// try reports whether a candidate shrink is still valid and still failing.
+func try(c Case, pred func(Case) bool) bool {
+	if c.Query.Validate(c.Venue) != nil {
+		return false
+	}
+	return pred(c)
+}
+
+func cloneCase(c Case) Case {
+	q := &core.Query{
+		Existing:   append([]indoor.PartitionID(nil), c.Query.Existing...),
+		Candidates: append([]indoor.PartitionID(nil), c.Query.Candidates...),
+		Clients:    append([]core.Client(nil), c.Query.Clients...),
+	}
+	return Case{Venue: c.Venue, Query: q, Obj: c.Obj, K: c.K}
+}
+
+// rebuildVenue reconstructs the venue through the Builder, keeping only
+// partitions and doors admitted by the filters. It returns the new venue and
+// the old→new partition ID mapping, or ok=false when the reduced venue fails
+// validation (e.g. it became disconnected).
+func rebuildVenue(v *indoor.Venue, keepPart func(indoor.PartitionID) bool, keepDoor func(indoor.DoorID) bool) (*indoor.Venue, []indoor.PartitionID, bool) {
+	b := indoor.NewBuilder(v.Name)
+	remap := make([]indoor.PartitionID, len(v.Partitions))
+	for i := range v.Partitions {
+		p := &v.Partitions[i]
+		if !keepPart(p.ID) {
+			remap[i] = indoor.NoPartition
+			continue
+		}
+		switch p.Kind {
+		case indoor.Room:
+			remap[i] = b.AddRoom(p.Rect, p.Name, p.Category)
+		case indoor.Corridor:
+			remap[i] = b.AddCorridor(p.Rect, p.Name)
+		case indoor.Stair:
+			remap[i] = b.AddStair(p.Rect, p.Name, p.StairLength)
+		}
+	}
+	for i := range v.Doors {
+		d := &v.Doors[i]
+		if !keepDoor(d.ID) {
+			continue
+		}
+		a, bb := remap[d.A], indoor.NoPartition
+		if d.B != indoor.NoPartition {
+			bb = remap[d.B]
+		}
+		if a == indoor.NoPartition && bb == indoor.NoPartition {
+			continue
+		}
+		if a == indoor.NoPartition || bb == indoor.NoPartition {
+			// A door that lost one side becomes an entrance; entrances do
+			// not affect indoor distances, so drop it entirely.
+			continue
+		}
+		b.AddDoor(d.Loc, a, bb)
+	}
+	nv, err := b.Build()
+	if err != nil {
+		return nil, nil, false
+	}
+	return nv, remap, true
+}
+
+func removeDoor(c Case, di int) (Case, bool) {
+	nv, remap, ok := rebuildVenue(c.Venue,
+		func(indoor.PartitionID) bool { return true },
+		func(id indoor.DoorID) bool { return int(id) != di })
+	if !ok {
+		return Case{}, false
+	}
+	return remapQuery(c, nv, remap)
+}
+
+func removePartition(c Case, pid indoor.PartitionID) (Case, bool) {
+	nv, remap, ok := rebuildVenue(c.Venue,
+		func(id indoor.PartitionID) bool { return id != pid },
+		func(indoor.DoorID) bool { return true })
+	if !ok {
+		return Case{}, false
+	}
+	return remapQuery(c, nv, remap)
+}
+
+// remapQuery rewrites the query onto a rebuilt venue, dropping query
+// elements whose partition was removed.
+func remapQuery(c Case, nv *indoor.Venue, remap []indoor.PartitionID) (Case, bool) {
+	q := &core.Query{}
+	for _, f := range c.Query.Existing {
+		if n := remap[f]; n != indoor.NoPartition {
+			q.Existing = append(q.Existing, n)
+		}
+	}
+	for _, f := range c.Query.Candidates {
+		if n := remap[f]; n != indoor.NoPartition {
+			q.Candidates = append(q.Candidates, n)
+		}
+	}
+	for _, cl := range c.Query.Clients {
+		if n := remap[cl.Part]; n != indoor.NoPartition {
+			cl.Part = n
+			q.Clients = append(q.Clients, cl)
+		}
+	}
+	return Case{Venue: nv, Query: q, Obj: c.Obj, K: c.K}, true
+}
+
+// Reproduce renders a Case as a standalone Go snippet (plus its corpus
+// encoding length) for bug reports: the venue rebuilt through the Builder
+// and the query as a literal.
+func Reproduce(c Case) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// objective=%s k=%d corpus=%d bytes\n", c.Obj, c.K, len(Encode(c)))
+	fmt.Fprintf(&sb, "b := indoor.NewBuilder(%q)\n", c.Venue.Name)
+	for i := range c.Venue.Partitions {
+		p := &c.Venue.Partitions[i]
+		r := p.Rect
+		switch p.Kind {
+		case indoor.Room:
+			fmt.Fprintf(&sb, "p%d := b.AddRoom(geom.R(%v, %v, %v, %v, %d), %q, %q)\n",
+				p.ID, r.Min.X, r.Min.Y, r.Max.X, r.Max.Y, r.Level(), p.Name, p.Category)
+		case indoor.Corridor:
+			fmt.Fprintf(&sb, "p%d := b.AddCorridor(geom.R(%v, %v, %v, %v, %d), %q)\n",
+				p.ID, r.Min.X, r.Min.Y, r.Max.X, r.Max.Y, r.Level(), p.Name)
+		case indoor.Stair:
+			fmt.Fprintf(&sb, "p%d := b.AddStair(geom.R(%v, %v, %v, %v, %d), %q, %v)\n",
+				p.ID, r.Min.X, r.Min.Y, r.Max.X, r.Max.Y, r.Level(), p.Name, p.StairLength)
+		}
+	}
+	for i := range c.Venue.Doors {
+		d := &c.Venue.Doors[i]
+		b := "indoor.NoPartition"
+		if d.B != indoor.NoPartition {
+			b = fmt.Sprintf("p%d", d.B)
+		}
+		fmt.Fprintf(&sb, "b.AddDoor(geom.Pt(%v, %v, %d), p%d, %s)\n", d.Loc.X, d.Loc.Y, d.Loc.Level, d.A, b)
+	}
+	sb.WriteString("v := b.MustBuild()\n")
+	fmt.Fprintf(&sb, "q := &core.Query{\n\tExisting: %#v,\n\tCandidates: %#v,\n\tClients: []core.Client{\n", c.Query.Existing, c.Query.Candidates)
+	for _, cl := range c.Query.Clients {
+		fmt.Fprintf(&sb, "\t\t{ID: %d, Part: %d, Loc: geom.Pt(%v, %v, %d)},\n", cl.ID, cl.Part, cl.Loc.X, cl.Loc.Y, cl.Loc.Level)
+	}
+	sb.WriteString("\t},\n}\n_ = v\n")
+	return sb.String()
+}

@@ -1,0 +1,97 @@
+package difftest
+
+import (
+	"testing"
+
+	"github.com/indoorspatial/ifls/internal/core"
+)
+
+// TestShrinkMinimizes drives Shrink with a synthetic predicate (no real bug
+// needed): "the query still has a client in partition P and candidate C".
+// The shrunk case must preserve the predicate, remain valid, and be
+// 1-minimal — no single remaining element can be removed without breaking
+// validity or the predicate.
+func TestShrinkMinimizes(t *testing.T) {
+	for _, seed := range []int64{3, 7, 19} {
+		v := GenVenue(seed)
+		q := GenQuery(v, seed*100)
+		c := Case{Venue: v, Query: q, Obj: core.ObjMinMax, K: 1}
+		wantCand := q.Candidates[0]
+		pred := func(sc Case) bool {
+			okC, okN := false, false
+			for _, cl := range sc.Query.Clients {
+				// Partition IDs are remapped on venue rebuild, so identify
+				// the pinned client by its stable ID instead.
+				if cl.ID == q.Clients[0].ID {
+					okC = true
+				}
+			}
+			for i := range sc.Venue.Partitions {
+				if sc.Venue.Partitions[i].Name == v.Partition(wantCand).Name {
+					okN = true
+				}
+			}
+			return okC && okN
+		}
+		min := Shrink(c, pred)
+		if !pred(min) {
+			t.Fatalf("seed %d: shrink lost the predicate", seed)
+		}
+		if err := min.Query.Validate(min.Venue); err != nil {
+			t.Fatalf("seed %d: shrunk case invalid: %v", seed, err)
+		}
+		if len(min.Query.Clients) != 1 {
+			t.Errorf("seed %d: %d clients remain, want 1", seed, len(min.Query.Clients))
+		}
+		if len(min.Query.Existing) != 0 {
+			t.Errorf("seed %d: %d existing remain, want 0", seed, len(min.Query.Existing))
+		}
+		if len(min.Query.Candidates) != 1 {
+			t.Errorf("seed %d: %d candidates remain, want 1", seed, len(min.Query.Candidates))
+		}
+		if len(min.Venue.Partitions) >= len(v.Partitions) {
+			t.Errorf("seed %d: no partitions removed (%d)", seed, len(min.Venue.Partitions))
+		}
+		// 1-minimality over venue structure: removing any single partition
+		// must break validity or the predicate.
+		for p := 0; p < len(min.Venue.Partitions); p++ {
+			if tc, ok := removePartition(min, min.Venue.Partitions[p].ID); ok && try(tc, pred) {
+				t.Errorf("seed %d: partition %d still removable", seed, p)
+			}
+		}
+	}
+}
+
+// TestShrinkNonFailing: a case whose predicate is already false comes back
+// untouched.
+func TestShrinkNonFailing(t *testing.T) {
+	c := GenCase(5)
+	min := Shrink(c, func(Case) bool { return false })
+	if min.Venue != c.Venue || len(min.Query.Clients) != len(c.Query.Clients) {
+		t.Fatal("non-failing case was modified")
+	}
+}
+
+// TestReproduceCompiles sanity-checks the reproducer snippet mentions every
+// structural element of the case it renders.
+func TestReproduceCompiles(t *testing.T) {
+	c := GenCase(9)
+	s := Reproduce(c)
+	if len(s) == 0 {
+		t.Fatal("empty reproducer")
+	}
+	for _, want := range []string{"indoor.NewBuilder", "b.MustBuild()", "core.Query"} {
+		if !contains(s, want) {
+			t.Errorf("reproducer missing %q", want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
