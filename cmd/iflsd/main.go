@@ -1,0 +1,172 @@
+// Command iflsd serves Indoor Facility Location Selection queries over
+// HTTP: a long-running multi-venue daemon with warm per-venue indexes,
+// request coalescing (concurrent identical queries share one traversal),
+// per-venue admission limits, live expvar/pprof observability, and
+// graceful drain on SIGINT/SIGTERM. SERVING.md documents the HTTP API,
+// the metrics catalog, and the operations runbook.
+//
+// Usage:
+//
+//	iflsd -addr :8080 -venues MC,CPH
+//	iflsd -venuefile hq=building.json -lazy
+//	iflsd -venues MC -indexfile MC=mc.vip    # skip the index build on boot
+//
+// A quick session against a running daemon:
+//
+//	curl localhost:8080/readyz
+//	curl -X POST localhost:8080/v1/query -d '{"venue":"CPH","existing":[0],"candidates":[1,2]}'
+//	curl localhost:8080/debug/vars | jq .ifls
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	ifls "github.com/indoorspatial/ifls"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "iflsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address")
+	venueList := flag.String("venues", "MC", "comma-separated sample venues to serve (MC, CH, CPH, MZB); empty for none")
+	venueFiles := flag.String("venuefile", "", "comma-separated NAME=PATH venue JSON files to serve")
+	indexFiles := flag.String("indexfile", "", "comma-separated NAME=PATH saved indexes (Index.Save) to load instead of building")
+	lazy := flag.Bool("lazy", false, "build venue indexes on first query instead of at startup")
+	workers := flag.Int("workers", 0, "index build workers (0 = all cores)")
+	maxInFlight := flag.Int("max-inflight", 0, "per-venue admitted-query limit (0 = default 256, <0 = unlimited)")
+	noCoalesce := flag.Bool("no-coalesce", false, "disable request coalescing (each query runs its own traversal)")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "max wait for in-flight queries on shutdown")
+	flag.Parse()
+
+	m := ifls.NewMetrics()
+	srv := ifls.NewServer(ifls.ServerOptions{
+		MaxInFlight:       *maxInFlight,
+		DisableCoalescing: *noCoalesce,
+		Metrics:           m,
+	})
+
+	ixOpts := ifls.IndexOptions{Workers: *workers}
+	indexes, err := parsePairs(*indexFiles)
+	if err != nil {
+		return err
+	}
+
+	register := func(name string, v *ifls.Venue) error {
+		if path, ok := indexes[name]; ok {
+			f, err := os.Open(path)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			ix, err := ifls.LoadIndex(f, v)
+			if err != nil {
+				return fmt.Errorf("index %q: %w", path, err)
+			}
+			log.Printf("venue %q: index loaded from %s", name, path)
+			return srv.AddVenue(name, ix)
+		}
+		if *lazy {
+			log.Printf("venue %q: index deferred to first query", name)
+			return srv.AddVenueLazy(name, v, ixOpts)
+		}
+		start := time.Now()
+		ix, err := ifls.NewIndexWithOptions(v, ixOpts)
+		if err != nil {
+			return fmt.Errorf("venue %q: %w", name, err)
+		}
+		s := v.Stats()
+		log.Printf("venue %q: %d partitions, %d doors, %d levels; index built in %v",
+			name, s.Partitions, s.Doors, s.Levels, time.Since(start).Round(time.Millisecond))
+		return srv.AddVenue(name, ix)
+	}
+
+	if *venueList != "" {
+		for _, name := range strings.Split(*venueList, ",") {
+			name = strings.TrimSpace(name)
+			v, err := ifls.SampleVenue(name)
+			if err != nil {
+				return err
+			}
+			if err := register(name, v); err != nil {
+				return err
+			}
+		}
+	}
+	files, err := parsePairs(*venueFiles)
+	if err != nil {
+		return err
+	}
+	for name, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		v, err := ifls.LoadVenue(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("venue file %q: %w", path, err)
+		}
+		if err := register(name, v); err != nil {
+			return err
+		}
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("serving on %s (coalescing %v, drain timeout %v)", *addr, !*noCoalesce, *drainTimeout)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		log.Printf("got %v; draining (up to %v)", s, *drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Drain the query layer first (refuse new work, let flights finish),
+	// then the HTTP layer (close idle connections, wait for handlers).
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("query drain incomplete: %v", err)
+	}
+	if err := hs.Shutdown(ctx); err != nil {
+		return err
+	}
+	snap := m.Snapshot()
+	log.Printf("drained: %d queries served (%d errors, %d coalesce hits / %d misses)",
+		snap.Queries, snap.Errors, snap.CoalesceHits, snap.CoalesceMisses)
+	return nil
+}
+
+// parsePairs parses a comma-separated NAME=PATH list.
+func parsePairs(s string) (map[string]string, error) {
+	out := map[string]string{}
+	if s == "" {
+		return out, nil
+	}
+	for _, pair := range strings.Split(s, ",") {
+		name, path, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || name == "" || path == "" {
+			return nil, fmt.Errorf("malformed NAME=PATH entry %q", pair)
+		}
+		out[name] = path
+	}
+	return out, nil
+}

@@ -1,0 +1,163 @@
+package ifls
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// strictDocPackages are held to the full godoc bar: every exported
+// identifier (type, func, method, var, const) must carry a doc comment,
+// not just the package clause. The root package and the serving stack are
+// the API surface users and operators read, so they are all in.
+var strictDocPackages = []string{
+	".",
+	"internal/batch",
+	"internal/difftest",
+	"internal/faults",
+	"internal/obs",
+	"internal/server",
+}
+
+// TestPackageComments walks every Go package in the module and fails if
+// any non-test package lacks a package comment. CI runs this as the lint
+// gate, so a new package cannot land undocumented.
+func TestPackageComments(t *testing.T) {
+	for dir, pkg := range modulePackages(t) {
+		if pkg.commented {
+			continue
+		}
+		t.Errorf("package %s (%s): no package comment on any file", pkg.name, dir)
+	}
+}
+
+// TestExportedDocComments enforces doc comments on every exported
+// identifier in the strictDocPackages list.
+func TestExportedDocComments(t *testing.T) {
+	fset := token.NewFileSet()
+	for _, dir := range strictDocPackages {
+		files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, path := range files {
+			if strings.HasSuffix(path, "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, decl := range f.Decls {
+				for _, miss := range undocumented(decl) {
+					t.Errorf("%s: exported %s has no doc comment", fset.Position(decl.Pos()), miss)
+				}
+			}
+		}
+	}
+}
+
+// undocumented returns the names of exported identifiers declared by decl
+// that lack doc comments.
+func undocumented(decl ast.Decl) []string {
+	var miss []string
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if d.Name.IsExported() && d.Doc == nil {
+			name := d.Name.Name
+			if d.Recv != nil && len(d.Recv.List) == 1 {
+				if rn := receiverType(d.Recv.List[0].Type); rn != "" && !ast.IsExported(rn) {
+					return nil // method on an unexported type: not API surface
+				} else if rn != "" {
+					name = rn + "." + name
+				}
+			}
+			miss = append(miss, "func "+name)
+		}
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+					miss = append(miss, "type "+s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				// A doc comment on the grouped decl ("var ( ... )") or the
+				// spec or a trailing line comment all count.
+				if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+					continue
+				}
+				for _, n := range s.Names {
+					if n.IsExported() {
+						miss = append(miss, "var/const "+n.Name)
+					}
+				}
+			}
+		}
+	}
+	return miss
+}
+
+// receiverType unwraps a method receiver expression to its type name.
+func receiverType(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return receiverType(t.X)
+	case *ast.IndexExpr:
+		return receiverType(t.X)
+	}
+	return ""
+}
+
+// pkgDoc records a package's name and whether any of its files carries a
+// package comment.
+type pkgDoc struct {
+	name      string
+	commented bool
+}
+
+// modulePackages parses every non-test Go file under the module root and
+// aggregates per-directory package-comment status.
+func modulePackages(t *testing.T) map[string]*pkgDoc {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs := map[string]*pkgDoc{}
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		dir := filepath.Dir(path)
+		p, ok := pkgs[dir]
+		if !ok {
+			p = &pkgDoc{name: f.Name.Name}
+			pkgs[dir] = p
+		}
+		if f.Doc != nil {
+			p.commented = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkgs
+}

@@ -20,6 +20,7 @@ type Mismatch struct {
 	Detail string
 }
 
+// String formats the mismatch as "objective: path: detail" for reports.
 func (m *Mismatch) String() string {
 	return fmt.Sprintf("%s: %s: %s", m.Obj, m.Path, m.Detail)
 }

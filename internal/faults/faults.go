@@ -61,6 +61,12 @@ var (
 	// failure was contained to one query, and the wrapped message carries
 	// the panic value for diagnosis.
 	ErrSolverPanic = errors.New("ifls: solver panic")
+
+	// ErrOverloaded classifies admission rejections: a venue's in-flight
+	// query limit is reached and the serving layer sheds the request
+	// instead of queueing it. Retry after backing off; the answer paths
+	// were never entered, so the request had no side effects.
+	ErrOverloaded = errors.New("ifls: overloaded")
 )
 
 // Cancelled wraps a context error into the taxonomy. The result satisfies

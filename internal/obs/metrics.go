@@ -92,6 +92,14 @@ type Metrics struct {
 	// CAS-updated); gdCount counts the contributing observations.
 	gdSumBits atomic.Uint64
 	gdCount   atomic.Int64
+
+	// Serving-layer counters (internal/server): coalesceHits counts queries
+	// answered by joining an already-running identical flight, coalesceMisses
+	// counts queries that led a new flight (one traversal each), and
+	// inFlight is the current number of admitted, unfinished queries.
+	coalesceHits   atomic.Int64
+	coalesceMisses atomic.Int64
+	inFlight       atomic.Int64
 }
 
 // NewMetrics returns an empty Metrics.
@@ -138,6 +146,23 @@ func (m *Metrics) ObserveQuery(o QueryObservation) {
 	}
 }
 
+// CoalesceHit records one query answered by joining an in-flight identical
+// flight instead of running its own traversal. Safe for concurrent use.
+func (m *Metrics) CoalesceHit() { m.coalesceHits.Add(1) }
+
+// CoalesceMiss records one query that found no identical in-flight work and
+// led a new shared flight (exactly one traversal ran for it). Safe for
+// concurrent use.
+func (m *Metrics) CoalesceMiss() { m.coalesceMisses.Add(1) }
+
+// QueryInFlight adjusts the in-flight query gauge: +1 when the serving
+// layer admits a query, -1 when its response is complete. Safe for
+// concurrent use.
+func (m *Metrics) QueryInFlight(delta int) { m.inFlight.Add(int64(delta)) }
+
+// InFlight returns the current value of the in-flight query gauge.
+func (m *Metrics) InFlight() int64 { return m.inFlight.Load() }
+
 // latencyBucket returns the histogram bucket index for an elapsed time.
 func latencyBucket(d time.Duration) int {
 	for i, b := range LatencyBounds {
@@ -179,21 +204,28 @@ type Snapshot struct {
 	// GdFinalAvg is the mean global bound at convergence over queries
 	// that reported one (NaN when none have).
 	GdFinalAvg float64
+	// CoalesceHits and CoalesceMisses count the serving layer's shared
+	// flights: a miss runs one traversal, a hit rides on one. InFlight is
+	// the admitted-but-unfinished query gauge at snapshot time.
+	CoalesceHits, CoalesceMisses, InFlight int64
 }
 
 // Snapshot returns a consistent-enough copy for serving: each field is
 // read atomically; cross-field skew is bounded by in-flight queries.
 func (m *Metrics) Snapshot() Snapshot {
 	s := Snapshot{
-		Queries:       m.queries.Load(),
-		Errors:        m.errors.Load(),
-		Cancellations: m.cancellations.Load(),
-		Found:         m.found.Load(),
-		Latency:       make([]int64, len(m.latency)),
-		Clients:       m.clients.Load(),
-		Pruned:        m.pruned.Load(),
-		DistanceCalcs: m.distanceCalcs.Load(),
-		QueuePops:     m.queuePops.Load(),
+		Queries:        m.queries.Load(),
+		Errors:         m.errors.Load(),
+		Cancellations:  m.cancellations.Load(),
+		Found:          m.found.Load(),
+		Latency:        make([]int64, len(m.latency)),
+		Clients:        m.clients.Load(),
+		Pruned:         m.pruned.Load(),
+		DistanceCalcs:  m.distanceCalcs.Load(),
+		QueuePops:      m.queuePops.Load(),
+		CoalesceHits:   m.coalesceHits.Load(),
+		CoalesceMisses: m.coalesceMisses.Load(),
+		InFlight:       m.inFlight.Load(),
 	}
 	for i := range m.stages {
 		s.Stages[i] = m.stages[i].Load()
@@ -230,17 +262,20 @@ func (m *Metrics) expvarMap() map[string]any {
 		latency[key] = n
 	}
 	out := map[string]any{
-		"queries":        s.Queries,
-		"errors":         s.Errors,
-		"cancellations":  s.Cancellations,
-		"found":          s.Found,
-		"stages":         stages,
-		"latency":        latency,
-		"clients":        s.Clients,
-		"pruned_clients": s.Pruned,
-		"distance_calcs": s.DistanceCalcs,
-		"queue_pops":     s.QueuePops,
-		"prune_rate":     s.PruneRate,
+		"queries":         s.Queries,
+		"errors":          s.Errors,
+		"cancellations":   s.Cancellations,
+		"found":           s.Found,
+		"stages":          stages,
+		"latency":         latency,
+		"clients":         s.Clients,
+		"pruned_clients":  s.Pruned,
+		"distance_calcs":  s.DistanceCalcs,
+		"queue_pops":      s.QueuePops,
+		"prune_rate":      s.PruneRate,
+		"coalesce_hits":   s.CoalesceHits,
+		"coalesce_misses": s.CoalesceMisses,
+		"in_flight":       s.InFlight,
 	}
 	if !math.IsNaN(s.GdFinalAvg) {
 		out["gd_final_avg"] = s.GdFinalAvg

@@ -1,0 +1,105 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"github.com/indoorspatial/ifls/internal/indoor"
+	"github.com/indoorspatial/ifls/internal/testvenue"
+	"github.com/indoorspatial/ifls/internal/vip"
+)
+
+// newGridServer builds a server over a multi-level grid venue large
+// enough that a traversal costs real work, so coalescing has something to
+// save, plus a representative query request against it. Both the
+// coalesced and uncoalesced benchmark variants share this setup.
+func newGridServer(b *testing.B, opts Options) (*Server, QueryRequest) {
+	b.Helper()
+	v := testvenue.Grid(testvenue.GridParams{Cols: 24, Levels: 4, InterRoomDoors: true})
+	tree, err := vip.Build(v, vip.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := New(NewRegistry(), opts)
+	if err := s.Registry().Add("grid", v, tree); err != nil {
+		b.Fatal(err)
+	}
+
+	var rooms []int32
+	for _, p := range v.Partitions {
+		if p.Kind == indoor.Room {
+			rooms = append(rooms, int32(p.ID))
+		}
+	}
+	req := QueryRequest{Venue: "grid", Objective: "minmax"}
+	for i := 0; i < 3; i++ {
+		req.Existing = append(req.Existing, rooms[(i*13)%len(rooms)])
+	}
+	for i := 0; i < 24; i++ {
+		req.Candidates = append(req.Candidates, rooms[(i*7+1)%len(rooms)])
+	}
+	for i := 0; i < 32; i++ {
+		p := v.Partition(indoor.PartitionID(rooms[(i*5+2)%len(rooms)]))
+		c := p.Rect.Center()
+		req.Clients = append(req.Clients, ClientJSON{
+			ID: int32(i), X: c.X, Y: c.Y, Level: c.Level, Partition: int32(p.ID),
+		})
+	}
+	return s, req
+}
+
+// benchConcurrent fires b.N queries from k concurrent clients that all
+// send the identical body — the coalescing sweet spot and the workload
+// the serving layer's throughput criterion is measured on.
+func benchConcurrent(b *testing.B, s *Server, req QueryRequest, k int) {
+	b.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := s.Handler()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N/k + 1
+	for c := 0; c < k; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r := httptest.NewRequest(http.MethodPost, "/v1/query", bytes.NewReader(body))
+				w := httptest.NewRecorder()
+				h.ServeHTTP(w, r)
+				if w.Code != http.StatusOK {
+					b.Errorf("status %d: %s", w.Code, w.Body.String())
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func BenchmarkServeCoalesced8(b *testing.B) {
+	s, req := newGridServer(b, Options{})
+	benchConcurrent(b, s, req, 8)
+}
+
+func BenchmarkServeUncoalesced8(b *testing.B) {
+	s, req := newGridServer(b, Options{DisableCoalescing: true})
+	benchConcurrent(b, s, req, 8)
+}
+
+func BenchmarkServeCoalesced16(b *testing.B) {
+	s, req := newGridServer(b, Options{})
+	benchConcurrent(b, s, req, 16)
+}
+
+func BenchmarkServeUncoalesced16(b *testing.B) {
+	s, req := newGridServer(b, Options{DisableCoalescing: true})
+	benchConcurrent(b, s, req, 16)
+}

@@ -1,0 +1,121 @@
+package server
+
+import (
+	"context"
+	"encoding/binary"
+	"math"
+	"sync"
+
+	"github.com/indoorspatial/ifls/internal/batch"
+	"github.com/indoorspatial/ifls/internal/faults"
+)
+
+// queryKey renders a query's full fingerprint — venue, objective, K, Fe,
+// Fn, and every client's identity and coordinates — as a canonical byte
+// string. Two requests coalesce if and only if their keys are equal, so
+// the key must determine the answer completely: it is the exact query, not
+// a hash of it, and collisions are impossible by construction.
+func queryKey(venue string, q batch.Query) string {
+	b := make([]byte, 0, 64+len(venue)+4*(len(q.Query.Existing)+len(q.Query.Candidates))+24*len(q.Query.Clients))
+	b = append(b, venue...)
+	b = append(b, 0)
+	b = append(b, q.Objective...)
+	b = append(b, 0)
+	b = binary.LittleEndian.AppendUint32(b, uint32(q.K))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(q.Query.Existing)))
+	for _, f := range q.Query.Existing {
+		b = binary.LittleEndian.AppendUint32(b, uint32(f))
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(q.Query.Candidates)))
+	for _, f := range q.Query.Candidates {
+		b = binary.LittleEndian.AppendUint32(b, uint32(f))
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(q.Query.Clients)))
+	for _, c := range q.Query.Clients {
+		b = binary.LittleEndian.AppendUint32(b, uint32(c.ID))
+		b = binary.LittleEndian.AppendUint32(b, uint32(c.Part))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(c.Loc.X))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(c.Loc.Y))
+		b = binary.LittleEndian.AppendUint32(b, uint32(c.Loc.Level))
+	}
+	return string(b)
+}
+
+// flight is one shared execution: the leader stores the result and closes
+// done; waiters read res only after done is closed. The result (including
+// its TopK slice) is shared read-only across all callers.
+type flight struct {
+	done chan struct{}
+	res  batch.Result
+}
+
+// coalescer deduplicates concurrent identical work: at most one flight per
+// key runs at a time, and callers arriving while it runs share its result.
+// Consecutive (non-overlapping) identical queries do not coalesce — each
+// starts a fresh flight, so answers always reflect a traversal that started
+// after the request arrived. Safe for concurrent use.
+type coalescer struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+	waiting map[string]int // waiters currently blocked per key, for tests and overload visibility
+
+	// leaderGate, when non-nil, runs on the leader's goroutine after its
+	// flight is registered and before the work executes. Tests use it to
+	// hold a flight open while waiters pile on, making coalescing
+	// assertions deterministic.
+	leaderGate func(key string)
+}
+
+func newCoalescer() *coalescer {
+	return &coalescer{flights: map[string]*flight{}, waiting: map[string]int{}}
+}
+
+// do executes run for key, sharing one execution among all concurrent
+// callers with an equal key. Exactly one caller — the leader — runs run;
+// the others wait for its result. hit reports whether this caller joined
+// an existing flight. A waiter whose ctx expires stops waiting and returns
+// a faults.ErrCancelled error, but the flight itself keeps running: run is
+// invoked on the leader's goroutine under whatever context the caller
+// closed over (the server uses its lifecycle context), so one client's
+// cancellation never aborts work other clients share.
+func (c *coalescer) do(ctx context.Context, key string, run func() batch.Result) (res batch.Result, hit bool, err error) {
+	c.mu.Lock()
+	if f, ok := c.flights[key]; ok {
+		c.waiting[key]++
+		c.mu.Unlock()
+		defer func() {
+			c.mu.Lock()
+			c.waiting[key]--
+			c.mu.Unlock()
+		}()
+		select {
+		case <-f.done:
+			return f.res, true, nil
+		case <-ctx.Done():
+			return batch.Result{}, true, faults.Cancelled(ctx.Err())
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.mu.Unlock()
+
+	if c.leaderGate != nil {
+		c.leaderGate(key)
+	}
+	f.res = run()
+
+	// Unregister before signalling completion: a caller that arrives after
+	// close(done) must start a fresh flight, never read a stale one.
+	c.mu.Lock()
+	delete(c.flights, key)
+	c.mu.Unlock()
+	close(f.done)
+	return f.res, false, nil
+}
+
+// waiters reports how many callers are currently blocked on key's flight.
+func (c *coalescer) waiters(key string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.waiting[key]
+}

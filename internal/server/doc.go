@@ -1,0 +1,46 @@
+// Package server is the HTTP serving layer: a long-running multi-venue IFLS
+// query service over the existing engine stack (core.Exec via
+// internal/batch, typed errors via internal/faults, metrics via
+// internal/obs). The root ifls package wraps it as ifls.NewServer and
+// cmd/iflsd runs it as a daemon; SERVING.md is the operator-facing
+// reference for everything this package exposes.
+//
+// # Request lifecycle
+//
+// Every query request passes through five stages, in order:
+//
+//	admit    → draining check, per-venue in-flight limit (faults.ErrOverloaded)
+//	validate → JSON decode, venue lookup, then Query.Validate inside the engine
+//	coalesce → identical in-flight queries share one execution (singleflight)
+//	execute  → batch.Execute: pooled Scratch, one core.Exec, span trace
+//	respond  → faults taxonomy mapped to an HTTP status, JSON body
+//
+// # Coalescing
+//
+// The scaling lever for many concurrent clients is request coalescing: all
+// concurrent queries with the same fingerprint — venue, objective, K, Fe,
+// Fn, and client set, compared byte-exactly, never by hash alone — share a
+// single bottom-up traversal. The first such query (the leader) executes;
+// the rest (waiters) block until the leader finishes and then fan the one
+// result out. The shared flight runs under the server's lifecycle context,
+// not any single request's, so a waiter cancelling — or the leader's own
+// client disconnecting — never aborts work other clients are waiting on.
+// Flights die only when the server drains.
+//
+// # Shutdown
+//
+// Server.Shutdown drains: readiness flips to 503 and new queries are
+// refused immediately, in-flight queries (including shared flights) run to
+// completion and return complete answers, and only after the drain (or its
+// deadline) does the lifecycle context cancel whatever is left. Pair it
+// with http.Server.Shutdown, which performs the matching connection-level
+// drain; cmd/iflsd wires both to SIGINT/SIGTERM.
+//
+// # Concurrency
+//
+// A Server and its Registry are safe for concurrent use. All per-query
+// mutable state is leased per request (batch.Execute's pooled Scratch);
+// the coalescer's flight map is the only shared mutable structure on the
+// query path and is guarded by one mutex taken only at flight start and
+// end, never during a traversal.
+package server

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/indoorspatial/ifls/internal/faults"
+	"github.com/indoorspatial/ifls/internal/indoor"
+	"github.com/indoorspatial/ifls/internal/vip"
+)
+
+// Registry owns the warm per-venue state the server queries: each entry
+// binds a venue to its VIP-tree index, built eagerly at registration (Add)
+// or on first use (AddLazy — the cold-start-friendly path for large
+// venues). Entries are never removed; a Registry grows monotonically for
+// the life of the process. Safe for concurrent use.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*entry
+}
+
+// entry is one registered venue. The index is resolved at most once: Add
+// stores it directly, AddLazy defers to build, whose one-shot outcome
+// (tree or error) is cached under mu.
+type entry struct {
+	name  string
+	venue *indoor.Venue
+
+	mu    sync.Mutex
+	build func(context.Context) (*vip.Tree, error) // nil once resolved
+	tree  *vip.Tree
+	err   error
+}
+
+// index returns the entry's tree, running the deferred build on first use.
+// Concurrent first queries serialize on the build; its outcome — success
+// or failure — is cached and returned to every later caller.
+func (e *entry) index(ctx context.Context) (*vip.Tree, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.tree == nil && e.err == nil && e.build != nil {
+		e.tree, e.err = e.build(ctx)
+		e.build = nil
+	}
+	return e.tree, e.err
+}
+
+// state reports whether the entry's index is built, without building it.
+func (e *entry) state() (ready bool, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.tree != nil, e.err
+}
+
+// NewRegistry returns an empty venue registry.
+func NewRegistry() *Registry { return &Registry{entries: map[string]*entry{}} }
+
+// Add registers a venue with a prebuilt index under name. Registering a
+// taken name, a nil venue, or a nil tree fails with ErrInvalidOptions.
+func (r *Registry) Add(name string, v *indoor.Venue, t *vip.Tree) error {
+	if t == nil {
+		return fmt.Errorf("%w: nil index for venue %q", faults.ErrInvalidOptions, name)
+	}
+	return r.add(&entry{name: name, venue: v, tree: t})
+}
+
+// AddLazy registers a venue whose index is built by build on the first
+// query that needs it. The build runs at most once; a failure is cached
+// and every query against the venue reports it.
+func (r *Registry) AddLazy(name string, v *indoor.Venue, build func(context.Context) (*vip.Tree, error)) error {
+	if build == nil {
+		return fmt.Errorf("%w: nil index builder for venue %q", faults.ErrInvalidOptions, name)
+	}
+	return r.add(&entry{name: name, venue: v, build: build})
+}
+
+func (r *Registry) add(e *entry) error {
+	if e.name == "" {
+		return fmt.Errorf("%w: empty venue name", faults.ErrInvalidOptions)
+	}
+	if e.venue == nil {
+		return fmt.Errorf("%w: nil venue %q", faults.ErrInvalidOptions, e.name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[e.name]; dup {
+		return fmt.Errorf("%w: venue %q already registered", faults.ErrInvalidOptions, e.name)
+	}
+	r.entries[e.name] = e
+	return nil
+}
+
+// lookup returns the entry registered under name, or nil.
+func (r *Registry) lookup(name string) *entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.entries[name]
+}
+
+// Names returns the registered venue names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.entries))
+	for n := range r.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Ready reports whether the registry can serve: no venue's index build has
+// failed. Lazy entries that have not been queried yet do not block
+// readiness — they become ready (or failed) on first use.
+func (r *Registry) Ready() error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, e := range r.entries {
+		if _, err := e.state(); err != nil {
+			return fmt.Errorf("venue %q: %w", e.name, err)
+		}
+	}
+	return nil
+}

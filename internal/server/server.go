@@ -1,0 +1,146 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"github.com/indoorspatial/ifls/internal/obs"
+)
+
+// DefaultMaxInFlight is the per-venue admission limit applied when
+// Options.MaxInFlight is zero.
+const DefaultMaxInFlight = 256
+
+// DefaultMaxBodyBytes is the request-body size limit applied when
+// Options.MaxBodyBytes is zero (a 10000-client query body is ~1 MB).
+const DefaultMaxBodyBytes = 8 << 20
+
+// Options configure a Server. The zero value serves with coalescing on,
+// the default admission and body limits, and no metrics.
+type Options struct {
+	// MaxInFlight caps the queries admitted per venue at once; excess
+	// requests are shed with 429/ErrOverloaded. Zero means
+	// DefaultMaxInFlight; negative means unlimited.
+	MaxInFlight int
+	// DisableCoalescing turns off shared flights: every request runs its
+	// own traversal under its own request context.
+	DisableCoalescing bool
+	// Metrics, when non-nil, receives every query's spans and aggregate
+	// observation plus the serving gauges (coalesce hits/misses,
+	// in-flight); it is also mounted at /debug/vars via the obs mux.
+	Metrics *obs.Metrics
+	// MaxBodyBytes caps the request body size (413 beyond it). Zero means
+	// DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+}
+
+// Server is the multi-venue IFLS query service: an http.Handler over a
+// Registry of warm indexes, with request coalescing, per-venue admission
+// limits, and graceful drain. Create with New; all methods are safe for
+// concurrent use.
+type Server struct {
+	reg  *Registry
+	opts Options
+	co   *coalescer
+	mux  *http.ServeMux
+
+	// life is the lifecycle context shared flights run under; stop cancels
+	// it once the drain completes (or its deadline expires).
+	life context.Context
+	stop context.CancelFunc
+
+	draining atomic.Bool
+	inflight sync.WaitGroup
+
+	semMu sync.Mutex
+	sems  map[string]chan struct{}
+}
+
+// New builds a Server over a registry. The registry may keep gaining
+// venues after the server starts.
+func New(reg *Registry, opts Options) *Server {
+	life, stop := context.WithCancel(context.Background())
+	s := &Server{
+		reg:  reg,
+		opts: opts,
+		co:   newCoalescer(),
+		mux:  http.NewServeMux(),
+		life: life,
+		stop: stop,
+		sems: map[string]chan struct{}{},
+	}
+	s.mux.HandleFunc("/v1/query", s.handleQuery)
+	s.mux.HandleFunc("/v1/venues", s.handleVenues)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	// The standard debug surface (expvar JSON incl. the "ifls" metrics,
+	// pprof) rides on the same mux; expose it to operators, not the open
+	// internet (SERVING.md → Operations).
+	s.mux.Handle("/debug/", obs.NewMux(opts.Metrics))
+	return s
+}
+
+// Handler returns the server's HTTP surface, ready to mount on any
+// listener.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry returns the server's venue registry, for registering venues
+// after construction.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Draining reports whether Shutdown has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Shutdown drains the server: new queries are refused immediately (503,
+// readiness flips), in-flight queries — including coalesced flights —
+// run to completion and deliver complete answers, and only then does the
+// lifecycle context cancel. If ctx expires first, Shutdown cancels the
+// remaining flights (their clients see cancellation errors) and returns
+// ctx's error. Callers serving over net/http should pair this with
+// http.Server.Shutdown for the connection-level drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	s.stop()
+	return err
+}
+
+// venueSem returns the venue's admission semaphore, creating it at the
+// configured capacity on first use.
+func (s *Server) venueSem(venue string) chan struct{} {
+	s.semMu.Lock()
+	defer s.semMu.Unlock()
+	sem, ok := s.sems[venue]
+	if !ok {
+		n := s.opts.MaxInFlight
+		if n == 0 {
+			n = DefaultMaxInFlight
+		}
+		if n < 0 {
+			n = 1 << 20 // effectively unlimited
+		}
+		sem = make(chan struct{}, n)
+		s.sems[venue] = sem
+	}
+	return sem
+}
+
+// maxBodyBytes returns the configured request-body cap.
+func (s *Server) maxBodyBytes() int64 {
+	if s.opts.MaxBodyBytes > 0 {
+		return s.opts.MaxBodyBytes
+	}
+	return DefaultMaxBodyBytes
+}

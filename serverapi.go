@@ -1,0 +1,100 @@
+package ifls
+
+import (
+	"context"
+	"net/http"
+
+	"github.com/indoorspatial/ifls/internal/faults"
+	"github.com/indoorspatial/ifls/internal/server"
+	"github.com/indoorspatial/ifls/internal/vip"
+)
+
+// ErrOverloaded marks queries shed at the serving layer's admission
+// boundary: the target venue is at its in-flight limit. Retry after
+// backing off. Part of the error taxonomy; classify with errors.Is.
+var ErrOverloaded = faults.ErrOverloaded
+
+// ServerOptions configure NewServer. The zero value serves with request
+// coalescing on, the default per-venue admission limit
+// (server.DefaultMaxInFlight), and no metrics.
+type ServerOptions struct {
+	// MaxInFlight caps the queries admitted per venue at once; excess
+	// requests receive 429 responses classified as ErrOverloaded. Zero
+	// applies the default limit; negative means unlimited.
+	MaxInFlight int
+	// DisableCoalescing turns off shared flights: every request runs its
+	// own traversal under its own request context.
+	DisableCoalescing bool
+	// Metrics, when non-nil, aggregates every served query (spans, latency,
+	// errors) plus the serving gauges — coalesce hits/misses and the
+	// in-flight count — and is served at /debug/vars under the name "ifls".
+	Metrics *Metrics
+	// MaxRequestBytes caps the request body size (413 beyond it). Zero
+	// applies the default (8 MiB).
+	MaxRequestBytes int64
+}
+
+// Server is a multi-venue IFLS query service over HTTP: a registry of warm
+// indexes behind a JSON API, with request coalescing (concurrent identical
+// queries share one traversal), per-venue admission limits, health and
+// readiness endpoints, the expvar/pprof debug surface, and graceful drain.
+// SERVING.md documents the full HTTP API and the operations runbook.
+// All methods are safe for concurrent use.
+type Server struct{ s *server.Server }
+
+// NewServer creates an empty query server; register venues with AddVenue
+// or AddVenueLazy, then mount Handler on a listener:
+//
+//	srv := ifls.NewServer(ifls.ServerOptions{Metrics: ifls.NewMetrics()})
+//	srv.AddVenue("MC", ix)
+//	http.ListenAndServe(":8080", srv.Handler())
+func NewServer(opts ServerOptions) *Server {
+	return &Server{s: server.New(server.NewRegistry(), server.Options{
+		MaxInFlight:       opts.MaxInFlight,
+		DisableCoalescing: opts.DisableCoalescing,
+		Metrics:           opts.Metrics,
+		MaxBodyBytes:      opts.MaxRequestBytes,
+	})}
+}
+
+// AddVenue registers a venue with its prebuilt index under name. Queries
+// naming the venue are served immediately. Registering a taken name
+// returns ErrInvalidOptions.
+func (s *Server) AddVenue(name string, ix *Index) error {
+	if ix == nil {
+		return faults.ErrInvalidOptions
+	}
+	return s.s.Registry().Add(name, ix.venue, ix.tree)
+}
+
+// AddVenueLazy registers a venue whose index is built on the first query
+// that needs it — the cold-start-friendly path for large venues. The
+// build runs at most once with the given options; a failure is cached and
+// reported by every query against the venue (and by /readyz).
+func (s *Server) AddVenueLazy(name string, v *Venue, opts IndexOptions) error {
+	if v == nil {
+		return faults.ErrInvalidOptions
+	}
+	return s.s.Registry().AddLazy(name, v, func(ctx context.Context) (*vip.Tree, error) {
+		ix, err := NewIndexContext(ctx, v, opts)
+		if err != nil {
+			return nil, err
+		}
+		return ix.tree, nil
+	})
+}
+
+// Handler returns the server's HTTP surface (query, venues, healthz,
+// readyz, and /debug), ready to mount on any listener.
+func (s *Server) Handler() http.Handler { return s.s.Handler() }
+
+// Draining reports whether Shutdown has been called.
+func (s *Server) Draining() bool { return s.s.Draining() }
+
+// Shutdown drains the server: new queries are refused immediately,
+// in-flight queries — including coalesced flights — run to completion
+// and deliver complete answers, and only then do remaining contexts
+// cancel. If ctx expires first, the leftover flights are cancelled and
+// ctx's error is returned. Pair with http.Server.Shutdown for the
+// connection-level drain (see cmd/iflsd).
+func (s *Server) Shutdown(ctx context.Context) error { return s.s.Shutdown(ctx) }
