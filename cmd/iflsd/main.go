@@ -142,11 +142,16 @@ func run() error {
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	// Drain the query layer first (refuse new work, let flights finish),
-	// then the HTTP layer (close idle connections, wait for handlers).
+	// then the HTTP layer (close idle connections, wait for handlers). The
+	// HTTP drain gets its own budget: even when the query drain exhausts
+	// drainTimeout, handlers still need a moment to write their (possibly
+	// cancellation) responses before connections are torn down.
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("query drain incomplete: %v", err)
 	}
-	if err := hs.Shutdown(ctx); err != nil {
+	httpCtx, httpCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer httpCancel()
+	if err := hs.Shutdown(httpCtx); err != nil {
 		return err
 	}
 	snap := m.Snapshot()

@@ -14,13 +14,16 @@ import (
 // Fn, and every client's identity and coordinates — as a canonical byte
 // string. Two requests coalesce if and only if their keys are equal, so
 // the key must determine the answer completely: it is the exact query, not
-// a hash of it, and collisions are impossible by construction.
+// a hash of it, and collisions are impossible by construction. Every
+// variable-length field is length-prefixed so no byte value inside a field
+// (venue names are operator-controlled, not trusted) can shift the
+// boundary between fields.
 func queryKey(venue string, q batch.Query) string {
 	b := make([]byte, 0, 64+len(venue)+4*(len(q.Query.Existing)+len(q.Query.Candidates))+24*len(q.Query.Clients))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(venue)))
 	b = append(b, venue...)
-	b = append(b, 0)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(q.Objective)))
 	b = append(b, q.Objective...)
-	b = append(b, 0)
 	b = binary.LittleEndian.AppendUint32(b, uint32(q.K))
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(q.Query.Existing)))
 	for _, f := range q.Query.Existing {

@@ -203,11 +203,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Code: "method_not_allowed", Error: "use POST"})
 		return
 	}
-	if s.draining.Load() {
+	if !s.admit() {
 		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Code: "draining", Error: "server is draining"})
 		return
 	}
-	s.inflight.Add(1)
 	defer s.inflight.Done()
 
 	var req QueryRequest
@@ -245,7 +244,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		defer s.opts.Metrics.QueryInFlight(-1)
 	}
 
-	tree, err := e.index(r.Context())
+	// Build lazy indexes under the server lifecycle context, not the
+	// request's: the first client disconnecting must not abort (let alone
+	// permanently poison) a build every later query depends on.
+	tree, err := e.index(s.life)
 	if err != nil {
 		s.writeError(w, err)
 		return

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -36,12 +37,19 @@ type entry struct {
 
 // index returns the entry's tree, running the deferred build on first use.
 // Concurrent first queries serialize on the build; its outcome — success
-// or failure — is cached and returned to every later caller.
+// or failure — is cached and returned to every later caller. Cancellation
+// is the one exception: a build aborted by ctx (e.g. a drain mid-build) is
+// reported to this caller but not cached, so a later query retries instead
+// of inheriting a permanently failed venue.
 func (e *entry) index(ctx context.Context) (*vip.Tree, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.tree == nil && e.err == nil && e.build != nil {
-		e.tree, e.err = e.build(ctx)
+		tree, err := e.build(ctx)
+		if err != nil && (errors.Is(err, faults.ErrCancelled) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			return nil, err
+		}
+		e.tree, e.err = tree, err
 		e.build = nil
 	}
 	return e.tree, e.err
@@ -68,7 +76,8 @@ func (r *Registry) Add(name string, v *indoor.Venue, t *vip.Tree) error {
 
 // AddLazy registers a venue whose index is built by build on the first
 // query that needs it. The build runs at most once; a failure is cached
-// and every query against the venue reports it.
+// and every query against the venue reports it, except cancellation,
+// which leaves the build pending for a later query to retry.
 func (r *Registry) AddLazy(name string, v *indoor.Venue, build func(context.Context) (*vip.Tree, error)) error {
 	if build == nil {
 		return fmt.Errorf("%w: nil index builder for venue %q", faults.ErrInvalidOptions, name)

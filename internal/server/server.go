@@ -51,6 +51,12 @@ type Server struct {
 	life context.Context
 	stop context.CancelFunc
 
+	// drainMu orders admission against Shutdown: admit holds it (shared)
+	// around the draining check and inflight.Add, Shutdown holds it
+	// (exclusive) while flipping draining. That guarantees every Add
+	// happens-before Wait observes a zero counter — no query can slip past
+	// the drain check after Wait has started.
+	drainMu  sync.RWMutex
 	draining atomic.Bool
 	inflight sync.WaitGroup
 
@@ -101,7 +107,9 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // ctx's error. Callers serving over net/http should pair this with
 // http.Server.Shutdown for the connection-level drain.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.drainMu.Lock()
 	s.draining.Store(true)
+	s.drainMu.Unlock()
 	done := make(chan struct{})
 	go func() {
 		s.inflight.Wait()
@@ -115,6 +123,20 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.stop()
 	return err
+}
+
+// admit registers one query with the in-flight group unless the server is
+// draining. On true the caller owns one inflight count and must Done it;
+// on false the query must be refused. See drainMu for why the check and
+// the Add are one atomic step.
+func (s *Server) admit() bool {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	if s.draining.Load() {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
 }
 
 // venueSem returns the venue's admission semaphore, creating it at the

@@ -249,6 +249,39 @@ func TestLazyBuildFailure(t *testing.T) {
 	}
 }
 
+// TestLazyBuildCancelledNotCached pins the recovery path: a lazy build
+// aborted by cancellation (a client disconnect or a drain mid-build) is
+// reported to that caller but not cached — the next query retries the
+// build and succeeds, instead of inheriting a permanently failed venue.
+func TestLazyBuildCancelledNotCached(t *testing.T) {
+	v := testvenue.Corridor3()
+	reg := NewRegistry()
+	calls := 0
+	if err := reg.AddLazy("c3", v, func(ctx context.Context) (*vip.Tree, error) {
+		calls++
+		if calls == 1 {
+			return nil, faults.Cancelled(context.Canceled)
+		}
+		return vip.BuildContext(ctx, v, vip.DefaultOptions())
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e := reg.lookup("c3")
+	if _, err := e.index(context.Background()); !errors.Is(err, faults.ErrCancelled) {
+		t.Fatalf("first index() err = %v, want ErrCancelled", err)
+	}
+	if err := reg.Ready(); err != nil {
+		t.Fatalf("cancelled build degraded readiness: %v", err)
+	}
+	tree, err := e.index(context.Background())
+	if err != nil || tree == nil {
+		t.Fatalf("retry index() = (%v, %v), want a built tree", tree, err)
+	}
+	if calls != 2 {
+		t.Fatalf("build ran %d times, want 2 (one cancelled, one retried)", calls)
+	}
+}
+
 // TestLazyBuildServes proves the on-demand path: a venue registered lazily
 // answers its first query by building the index then, and /v1/venues flips
 // its ready flag.
