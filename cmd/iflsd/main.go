@@ -9,7 +9,14 @@
 //
 //	iflsd -addr :8080 -venues MC,CPH
 //	iflsd -venuefile hq=building.json -lazy
-//	iflsd -venues MC -indexfile MC=mc.vip    # skip the index build on boot
+//	iflsd -venues MC -indexfile MC=mc.vip          # skip the index build on boot
+//	iflsd -venues MC -saveindex MC=mc.vip -build-only   # offline index build
+//	iflsd -venues MC -query-timeout 250ms          # bound every query's wall time
+//
+// Index files are written atomically (temp file + rename), so a crash
+// mid-save never leaves a half-written index; on load they are verified
+// (magic, version, checksum, deep validation) and a corrupt file is
+// refused at startup with a typed error instead of serving garbage.
 //
 // A quick session against a running daemon:
 //
@@ -26,11 +33,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	ifls "github.com/indoorspatial/ifls"
+	"github.com/indoorspatial/ifls/internal/chaos"
 )
 
 func main() {
@@ -50,13 +59,47 @@ func run() error {
 	maxInFlight := flag.Int("max-inflight", 0, "per-venue admitted-query limit (0 = default 256, <0 = unlimited)")
 	noCoalesce := flag.Bool("no-coalesce", false, "disable request coalescing (each query runs its own traversal)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "max wait for in-flight queries on shutdown")
+	queryTimeout := flag.Duration("query-timeout", 0, "server-side per-query deadline, 504 beyond it (0 = unbounded); must be below -drain-timeout")
+	reapGrace := flag.Duration("reap-grace", 0, "grace before an abandoned coalesced flight is cancelled (0 = default 100ms, negative = never reap)")
+	retryAfter := flag.Int("retry-after", 0, "Retry-After seconds sent with 429/503 responses (0 = default 1)")
+	saveIndexFiles := flag.String("saveindex", "", "comma-separated NAME=PATH destinations for built indexes, written atomically")
+	buildOnly := flag.Bool("build-only", false, "build and -saveindex the indexes, then exit without serving")
+	chaosLatency := flag.Duration("chaos-latency", 0, "inject up to this much random latency into every query (fault-injection testing only)")
 	flag.Parse()
+
+	// A query deadline at or above the drain budget means a drain can never
+	// outwait its slowest admissible query; refuse the combination up front.
+	if *queryTimeout > 0 && *queryTimeout >= *drainTimeout {
+		return fmt.Errorf("-query-timeout %v must be below -drain-timeout %v (a drain must be able to outwait its slowest admissible query)",
+			*queryTimeout, *drainTimeout)
+	}
+	saves, err := parsePairs(*saveIndexFiles)
+	if err != nil {
+		return err
+	}
+	if *buildOnly && len(saves) == 0 {
+		return fmt.Errorf("-build-only requires -saveindex destinations")
+	}
+	if len(saves) > 0 && *lazy {
+		return fmt.Errorf("-saveindex requires eager builds; drop -lazy")
+	}
+
+	var hooks ifls.ServerHooks
+	if *chaosLatency > 0 {
+		inj := chaos.New(chaos.Config{Seed: 1, LatencyProb: 1, MaxLatency: *chaosLatency})
+		hooks.BeforeExecute = inj.BeforeExecute
+		log.Printf("CHAOS: injecting up to %v latency into every query", *chaosLatency)
+	}
 
 	m := ifls.NewMetrics()
 	srv := ifls.NewServer(ifls.ServerOptions{
 		MaxInFlight:       *maxInFlight,
 		DisableCoalescing: *noCoalesce,
 		Metrics:           m,
+		QueryTimeout:      *queryTimeout,
+		AbandonGrace:      *reapGrace,
+		RetryAfterSeconds: *retryAfter,
+		Hooks:             hooks,
 	})
 
 	ixOpts := ifls.IndexOptions{Workers: *workers}
@@ -66,31 +109,39 @@ func run() error {
 	}
 
 	register := func(name string, v *ifls.Venue) error {
+		var ix *ifls.Index
 		if path, ok := indexes[name]; ok {
 			f, err := os.Open(path)
 			if err != nil {
 				return err
 			}
-			defer f.Close()
-			ix, err := ifls.LoadIndex(f, v)
+			ix, err = ifls.LoadIndex(f, v)
+			f.Close()
 			if err != nil {
 				return fmt.Errorf("index %q: %w", path, err)
 			}
 			log.Printf("venue %q: index loaded from %s", name, path)
-			return srv.AddVenue(name, ix)
+		} else {
+			if *lazy {
+				log.Printf("venue %q: index deferred to first query", name)
+				return srv.AddVenueLazy(name, v, ixOpts)
+			}
+			start := time.Now()
+			var err error
+			ix, err = ifls.NewIndexWithOptions(v, ixOpts)
+			if err != nil {
+				return fmt.Errorf("venue %q: %w", name, err)
+			}
+			s := v.Stats()
+			log.Printf("venue %q: %d partitions, %d doors, %d levels; index built in %v",
+				name, s.Partitions, s.Doors, s.Levels, time.Since(start).Round(time.Millisecond))
 		}
-		if *lazy {
-			log.Printf("venue %q: index deferred to first query", name)
-			return srv.AddVenueLazy(name, v, ixOpts)
+		if path, ok := saves[name]; ok {
+			if err := saveIndexAtomic(ix, path); err != nil {
+				return fmt.Errorf("saving index for %q: %w", name, err)
+			}
+			log.Printf("venue %q: index saved to %s", name, path)
 		}
-		start := time.Now()
-		ix, err := ifls.NewIndexWithOptions(v, ixOpts)
-		if err != nil {
-			return fmt.Errorf("venue %q: %w", name, err)
-		}
-		s := v.Stats()
-		log.Printf("venue %q: %d partitions, %d doors, %d levels; index built in %v",
-			name, s.Partitions, s.Doors, s.Levels, time.Since(start).Round(time.Millisecond))
 		return srv.AddVenue(name, ix)
 	}
 
@@ -123,6 +174,11 @@ func run() error {
 		if err := register(name, v); err != nil {
 			return err
 		}
+	}
+
+	if *buildOnly {
+		log.Printf("build-only: %d index file(s) written; exiting", len(saves))
+		return nil
 	}
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -158,6 +214,33 @@ func run() error {
 	log.Printf("drained: %d queries served (%d errors, %d coalesce hits / %d misses)",
 		snap.Queries, snap.Errors, snap.CoalesceHits, snap.CoalesceMisses)
 	return nil
+}
+
+// saveIndexAtomic persists an index with the temp-file-and-rename dance:
+// the bytes land in a temp file in the destination directory, are synced
+// to disk, and only then renamed over the final path. A crash at any point
+// leaves either the old file or no file — never a half-written index (the
+// loader would refuse one anyway, via its checksum, but a clean save
+// should not depend on that).
+func saveIndexAtomic(ix *ifls.Index, path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op once the rename has happened
+	if err := ix.Save(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // parsePairs parses a comma-separated NAME=PATH list.

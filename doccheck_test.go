@@ -17,8 +17,10 @@ import (
 var strictDocPackages = []string{
 	".",
 	"internal/batch",
+	"internal/chaos",
 	"internal/difftest",
 	"internal/faults",
+	"internal/leakcheck",
 	"internal/obs",
 	"internal/server",
 }

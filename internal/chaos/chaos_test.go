@@ -1,0 +1,118 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+// TestDeterminism: two injectors with the same seed and the same call
+// sequence make identical decisions.
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Seed: 42, ErrorProb: 0.5, LatencyProb: 0.3, MaxLatency: time.Microsecond}
+	a, b := New(cfg), New(cfg)
+	ctx := context.Background()
+	for i := 0; i < 200; i++ {
+		ea, eb := a.BeforeExecute(ctx, "v"), b.BeforeExecute(ctx, "v")
+		if (ea == nil) != (eb == nil) {
+			t.Fatalf("call %d: decisions diverged (%v vs %v)", i, ea, eb)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Errorf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	if s := a.Stats(); s.Errors == 0 || s.Latencies == 0 {
+		t.Errorf("200 calls at 0.5/0.3 probability injected nothing: %+v", s)
+	}
+}
+
+// TestCertainError: probability 1 always injects, and the error is typed.
+func TestCertainError(t *testing.T) {
+	in := New(Config{Seed: 1, ErrorProb: 1})
+	err := in.BeforeExecute(context.Background(), "v")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if in.Stats().Errors != 1 {
+		t.Errorf("errors = %d, want 1", in.Stats().Errors)
+	}
+}
+
+// TestBuildFault: build hooks count separately from query hooks.
+func TestBuildFault(t *testing.T) {
+	in := New(Config{Seed: 1, BuildFailProb: 1})
+	if err := in.BeforeBuild(context.Background(), "v"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if s := in.Stats(); s.BuildFails != 1 || s.Errors != 0 {
+		t.Errorf("stats = %+v, want exactly one build failure", s)
+	}
+}
+
+// TestLatencyHonorsContext: an injected delay cut short by cancellation
+// returns the context's error instead of stalling.
+func TestLatencyHonorsContext(t *testing.T) {
+	in := New(Config{Seed: 1, LatencyProb: 1, MaxLatency: time.Hour})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	err := in.BeforeExecute(ctx, "v")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("cancelled injection stalled")
+	}
+}
+
+// TestZeroConfigInjectsNothing: the zero Config is a no-op injector.
+func TestZeroConfigInjectsNothing(t *testing.T) {
+	in := New(Config{})
+	for i := 0; i < 100; i++ {
+		if err := in.BeforeExecute(context.Background(), "v"); err != nil {
+			t.Fatalf("zero config injected: %v", err)
+		}
+		if err := in.BeforeBuild(context.Background(), "v"); err != nil {
+			t.Fatalf("zero config injected build fault: %v", err)
+		}
+	}
+	if s := in.Stats(); s != (Stats{}) {
+		t.Errorf("stats = %+v, want all zero", s)
+	}
+}
+
+// TestCorruptReader: the wrapper damages every block deterministically —
+// same seed, same damage; the stream length is preserved.
+func TestCorruptReader(t *testing.T) {
+	clean := bytes.Repeat([]byte("abcdefgh"), 200) // 1600 bytes, several blocks
+	read := func(seed int64) []byte {
+		out, err := io.ReadAll(CorruptReader(bytes.NewReader(clean), seed, 256))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := read(7), read(7)
+	if !bytes.Equal(a, b) {
+		t.Error("same seed produced different corruption")
+	}
+	if bytes.Equal(a, clean) {
+		t.Error("corrupt reader left the stream intact")
+	}
+	if len(a) != len(clean) {
+		t.Errorf("corruption changed length: %d -> %d", len(clean), len(a))
+	}
+	// Exactly one bit per 256-byte block differs.
+	diffs := 0
+	for i := range clean {
+		if a[i] != clean[i] {
+			diffs++
+		}
+	}
+	if want := len(clean) / 256; diffs != want {
+		t.Errorf("%d damaged bytes, want %d (one per block)", diffs, want)
+	}
+}

@@ -67,6 +67,22 @@ var (
 	// instead of queueing it. Retry after backing off; the answer paths
 	// were never entered, so the request had no side effects.
 	ErrOverloaded = errors.New("ifls: overloaded")
+
+	// ErrDeadlineExceeded classifies queries terminated by a server-side
+	// deadline: the configured query timeout (or the request's own clamped
+	// override) expired before the traversal converged. Distinct from
+	// ErrCancelled — a deadline is the server enforcing its latency
+	// budget, a cancellation is the client (or a drain) abandoning the
+	// work. Construct instances with Deadline.
+	ErrDeadlineExceeded = errors.New("ifls: deadline exceeded")
+
+	// ErrCorruptIndex classifies persisted indexes that fail integrity
+	// verification on load: a missing or mangled header, a checksum
+	// mismatch, a payload that does not decode, or decoded structure that
+	// fails deep validation (out-of-range references, malformed distance
+	// matrices). A corrupt index is never partially loaded — Load returns
+	// this error and no tree.
+	ErrCorruptIndex = errors.New("ifls: corrupt index")
 )
 
 // Cancelled wraps a context error into the taxonomy. The result satisfies
@@ -77,6 +93,20 @@ func Cancelled(cause error) error {
 		cause = context.Canceled
 	}
 	return fmt.Errorf("%w: %w", ErrCancelled, cause)
+}
+
+// Deadline wraps a cause into the deadline class. The result satisfies
+// errors.Is for both ErrDeadlineExceeded and context.DeadlineExceeded, so
+// callers branching on the standard context error keep working. A cause
+// that does not itself carry context.DeadlineExceeded (including nil, and
+// the context.Canceled produced when a deadline timer cancels a shared
+// flight) is replaced by context.DeadlineExceeded: the class exists to
+// state *why* the work stopped, and the why is the deadline.
+func Deadline(cause error) error {
+	if cause == nil || !errors.Is(cause, context.DeadlineExceeded) {
+		cause = context.DeadlineExceeded
+	}
+	return fmt.Errorf("%w: %w", ErrDeadlineExceeded, cause)
 }
 
 // Recovered converts a value recovered from a panic into an ErrSolverPanic

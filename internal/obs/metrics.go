@@ -100,6 +100,14 @@ type Metrics struct {
 	coalesceHits   atomic.Int64
 	coalesceMisses atomic.Int64
 	inFlight       atomic.Int64
+
+	// Resilience counters: queriesTimedOut counts requests terminated by a
+	// server-side deadline (one per 504 response, so every coalesced
+	// participant that times out counts); flightsReaped counts shared
+	// flights cancelled because every participant departed and the
+	// abandon grace elapsed.
+	queriesTimedOut atomic.Int64
+	flightsReaped   atomic.Int64
 }
 
 // NewMetrics returns an empty Metrics.
@@ -160,6 +168,15 @@ func (m *Metrics) CoalesceMiss() { m.coalesceMisses.Add(1) }
 // concurrent use.
 func (m *Metrics) QueryInFlight(delta int) { m.inFlight.Add(int64(delta)) }
 
+// QueryTimedOut records one request terminated by a server-side deadline
+// (a 504 response). Safe for concurrent use.
+func (m *Metrics) QueryTimedOut() { m.queriesTimedOut.Add(1) }
+
+// FlightReaped records one coalesced flight cancelled because all of its
+// participants departed and the abandon grace elapsed — shared work nobody
+// was waiting for. Safe for concurrent use.
+func (m *Metrics) FlightReaped() { m.flightsReaped.Add(1) }
+
 // InFlight returns the current value of the in-flight query gauge.
 func (m *Metrics) InFlight() int64 { return m.inFlight.Load() }
 
@@ -208,24 +225,30 @@ type Snapshot struct {
 	// flights: a miss runs one traversal, a hit rides on one. InFlight is
 	// the admitted-but-unfinished query gauge at snapshot time.
 	CoalesceHits, CoalesceMisses, InFlight int64
+	// QueriesTimedOut counts requests terminated by a server-side deadline
+	// (504 responses); FlightsReaped counts shared flights cancelled after
+	// every participant departed (abandoned work released).
+	QueriesTimedOut, FlightsReaped int64
 }
 
 // Snapshot returns a consistent-enough copy for serving: each field is
 // read atomically; cross-field skew is bounded by in-flight queries.
 func (m *Metrics) Snapshot() Snapshot {
 	s := Snapshot{
-		Queries:        m.queries.Load(),
-		Errors:         m.errors.Load(),
-		Cancellations:  m.cancellations.Load(),
-		Found:          m.found.Load(),
-		Latency:        make([]int64, len(m.latency)),
-		Clients:        m.clients.Load(),
-		Pruned:         m.pruned.Load(),
-		DistanceCalcs:  m.distanceCalcs.Load(),
-		QueuePops:      m.queuePops.Load(),
-		CoalesceHits:   m.coalesceHits.Load(),
-		CoalesceMisses: m.coalesceMisses.Load(),
-		InFlight:       m.inFlight.Load(),
+		Queries:         m.queries.Load(),
+		Errors:          m.errors.Load(),
+		Cancellations:   m.cancellations.Load(),
+		Found:           m.found.Load(),
+		Latency:         make([]int64, len(m.latency)),
+		Clients:         m.clients.Load(),
+		Pruned:          m.pruned.Load(),
+		DistanceCalcs:   m.distanceCalcs.Load(),
+		QueuePops:       m.queuePops.Load(),
+		CoalesceHits:    m.coalesceHits.Load(),
+		CoalesceMisses:  m.coalesceMisses.Load(),
+		InFlight:        m.inFlight.Load(),
+		QueriesTimedOut: m.queriesTimedOut.Load(),
+		FlightsReaped:   m.flightsReaped.Load(),
 	}
 	for i := range m.stages {
 		s.Stages[i] = m.stages[i].Load()
@@ -262,20 +285,22 @@ func (m *Metrics) expvarMap() map[string]any {
 		latency[key] = n
 	}
 	out := map[string]any{
-		"queries":         s.Queries,
-		"errors":          s.Errors,
-		"cancellations":   s.Cancellations,
-		"found":           s.Found,
-		"stages":          stages,
-		"latency":         latency,
-		"clients":         s.Clients,
-		"pruned_clients":  s.Pruned,
-		"distance_calcs":  s.DistanceCalcs,
-		"queue_pops":      s.QueuePops,
-		"prune_rate":      s.PruneRate,
-		"coalesce_hits":   s.CoalesceHits,
-		"coalesce_misses": s.CoalesceMisses,
-		"in_flight":       s.InFlight,
+		"queries":           s.Queries,
+		"errors":            s.Errors,
+		"cancellations":     s.Cancellations,
+		"found":             s.Found,
+		"stages":            stages,
+		"latency":           latency,
+		"clients":           s.Clients,
+		"pruned_clients":    s.Pruned,
+		"distance_calcs":    s.DistanceCalcs,
+		"queue_pops":        s.QueuePops,
+		"prune_rate":        s.PruneRate,
+		"coalesce_hits":     s.CoalesceHits,
+		"coalesce_misses":   s.CoalesceMisses,
+		"in_flight":         s.InFlight,
+		"queries_timed_out": s.QueriesTimedOut,
+		"flights_reaped":    s.FlightsReaped,
 	}
 	if !math.IsNaN(s.GdFinalAvg) {
 		out["gd_final_avg"] = s.GdFinalAvg

@@ -267,9 +267,9 @@ func TestDrainDeadlineCancelsFlights(t *testing.T) {
 // TestCoalescerSequentialFlights: non-overlapping identical queries do not
 // share results — each runs its own flight.
 func TestCoalescerSequentialFlights(t *testing.T) {
-	c := newCoalescer()
+	c := newCoalescer(context.Background(), -1, nil)
 	runs := 0
-	run := func() batch.Result {
+	run := func(context.Context) batch.Result {
 		runs++
 		return batch.Result{}
 	}
@@ -285,18 +285,18 @@ func TestCoalescerSequentialFlights(t *testing.T) {
 
 // TestCoalescerWaiterError pins the waiter-cancellation error class.
 func TestCoalescerWaiterError(t *testing.T) {
-	c := newCoalescer()
+	c := newCoalescer(context.Background(), -1, nil)
 	started := make(chan struct{})
 	release := make(chan struct{})
 	c.leaderGate = func(string) {
 		close(started)
 		<-release
 	}
-	go c.do(context.Background(), "k", func() batch.Result { return batch.Result{} })
+	go c.do(context.Background(), "k", func(context.Context) batch.Result { return batch.Result{} })
 	<-started
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, hit, err := c.do(ctx, "k", func() batch.Result {
+	_, hit, err := c.do(ctx, "k", func(context.Context) batch.Result {
 		t.Error("waiter executed the flight body")
 		return batch.Result{}
 	})

@@ -25,7 +25,24 @@
 // result out. The shared flight runs under the server's lifecycle context,
 // not any single request's, so a waiter cancelling — or the leader's own
 // client disconnecting — never aborts work other clients are waiting on.
-// Flights die only when the server drains.
+// A flight dies in exactly three ways: the server drains, the flight's
+// deadline (the max across its participants' budgets) fires, or every
+// participant departs and the abandon-grace timer reaps the flight before
+// a retry adopts it.
+//
+// # Deadlines and reaping
+//
+// Options.QueryTimeout bounds every query's wall time; a request may
+// shorten (never extend) its own budget with the timeout_ms body field.
+// Past the deadline the request terminates with 504 deadline_exceeded
+// (faults.ErrDeadlineExceeded) and the traversal is cancelled at its next
+// checkpoint. Coalesced flights carry the maximum deadline of their
+// participants, extended as later-deadlined requests join. When the last
+// participant leaves a flight, a grace timer (Options.AbandonGrace,
+// default 100ms) starts; unless a retry joins first, the flight is
+// cancelled and Metrics counts it under flights_reaped. Hooks
+// (BeforeExecute, BeforeBuild) are seams for fault injection — see
+// internal/chaos.
 //
 // # Shutdown
 //

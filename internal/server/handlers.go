@@ -1,11 +1,13 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
 	"net/http"
+	"strconv"
 	"time"
 
 	"github.com/indoorspatial/ifls/internal/batch"
@@ -37,11 +39,14 @@ type ClientJSON struct {
 // QueryRequest is the POST /v1/query body: one IFLS query bound to a
 // registered venue. Objective is one of minmax (the default when empty),
 // baseline, mindist, maxsum, or topk; K is the result count for topk and
-// ignored otherwise.
+// ignored otherwise. TimeoutMS, when positive, shortens this request's
+// server-side deadline below the configured query timeout (it can never
+// extend it); past the deadline the request terminates with 504.
 type QueryRequest struct {
 	Venue      string       `json:"venue"`
 	Objective  string       `json:"objective,omitempty"`
 	K          int          `json:"k,omitempty"`
+	TimeoutMS  int64        `json:"timeout_ms,omitempty"`
 	Existing   []int32      `json:"existing"`
 	Candidates []int32      `json:"candidates"`
 	Clients    []ClientJSON `json:"clients"`
@@ -124,6 +129,10 @@ func httpStatus(err error) (int, string) {
 		return http.StatusUnprocessableEntity, "malformed_venue"
 	case errors.Is(err, faults.ErrOverloaded):
 		return http.StatusTooManyRequests, "overloaded"
+	case errors.Is(err, faults.ErrCorruptIndex):
+		return http.StatusInternalServerError, "corrupt_index"
+	case errors.Is(err, faults.ErrDeadlineExceeded):
+		return http.StatusGatewayTimeout, "deadline_exceeded"
 	case errors.Is(err, faults.ErrCancelled):
 		return StatusClientClosedRequest, "cancelled"
 	case errors.Is(err, faults.ErrSolverPanic):
@@ -142,16 +151,31 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 // writeError renders err through the status table. During a drain,
 // cancellations are reported as 503 draining (the server killed the work),
-// not 499 (the client did).
+// not 499 (the client did). Shed (429) and draining (503) responses both
+// carry a Retry-After header so well-behaved clients back off.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	status, code := httpStatus(err)
 	if status == StatusClientClosedRequest && s.draining.Load() {
 		status, code = http.StatusServiceUnavailable, "draining"
 	}
-	if status == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", "1")
+	if status == http.StatusTooManyRequests || code == "draining" {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	}
+	if status == http.StatusGatewayTimeout && s.opts.Metrics != nil {
+		s.opts.Metrics.QueryTimedOut()
 	}
 	writeJSON(w, status, ErrorResponse{Code: code, Error: err.Error()})
+}
+
+// deadlineClass upgrades a cancellation whose cause is a deadline expiry to
+// the deadline class: solvers report any context death as ErrCancelled, but
+// when the context died because the query's own time budget ran out, the
+// terminal status is 504, not 499.
+func deadlineClass(err error) error {
+	if err != nil && errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, faults.ErrDeadlineExceeded) {
+		return faults.Deadline(err)
+	}
+	return err
 }
 
 // handleHealthz reports process liveness: 200 whenever the process can
@@ -204,6 +228,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !s.admit() {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Code: "draining", Error: "server is draining"})
 		return
 	}
@@ -244,9 +269,33 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		defer s.opts.Metrics.QueryInFlight(-1)
 	}
 
+	// The request context carries the effective server-side deadline: the
+	// configured QueryTimeout, shortened (never extended) by the body's
+	// timeout_ms. A negative override is a malformed request.
+	if req.TimeoutMS < 0 {
+		s.writeError(w, fmt.Errorf("%w: negative timeout_ms %d", faults.ErrInvalidOptions, req.TimeoutMS))
+		return
+	}
+	reqCtx := r.Context()
+	if d := s.queryDeadline(req.TimeoutMS); d > 0 {
+		var cancel context.CancelFunc
+		reqCtx, cancel = context.WithTimeout(reqCtx, d)
+		defer cancel()
+	}
+
 	// Build lazy indexes under the server lifecycle context, not the
 	// request's: the first client disconnecting must not abort (let alone
-	// permanently poison) a build every later query depends on.
+	// permanently poison) a build every later query depends on. The
+	// BeforeBuild hook fires only while the venue is cold, so fault
+	// injection tracks real build triggers.
+	if hook := s.opts.Hooks.BeforeBuild; hook != nil {
+		if ready, _ := e.state(); !ready {
+			if err := hook(reqCtx, req.Venue); err != nil {
+				s.writeError(w, deadlineClass(err))
+				return
+			}
+		}
+	}
 	tree, err := e.index(s.life)
 	if err != nil {
 		s.writeError(w, err)
@@ -254,17 +303,28 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	bq := toBatchQuery(req)
+	execute := func(ctx context.Context) batch.Result {
+		if hook := s.opts.Hooks.BeforeExecute; hook != nil {
+			if err := hook(ctx, req.Venue); err != nil {
+				res := batch.Result{Err: err}
+				if errorsIsCancel(err) {
+					res.Err = faults.Cancelled(err)
+				}
+				return res
+			}
+		}
+		return batch.Execute(ctx, tree, bq, s.opts.Metrics)
+	}
 	start := time.Now()
 	var res batch.Result
 	var hit bool
 	if s.opts.DisableCoalescing {
-		res = batch.Execute(r.Context(), tree, bq, s.opts.Metrics)
+		res = execute(reqCtx)
 	} else {
-		res, hit, err = s.co.do(r.Context(), queryKey(req.Venue, bq), func() batch.Result {
-			// The shared flight runs under the server's lifecycle context:
-			// it outlives any single client and dies only on drain.
-			return batch.Execute(s.life, tree, bq, s.opts.Metrics)
-		})
+		// The shared flight runs under the flight context the coalescer
+		// derives from the server lifecycle: it outlives any single client
+		// and dies on drain, flight-wide deadline, or abandonment.
+		res, hit, err = s.co.do(reqCtx, queryKey(req.Venue, bq), execute)
 		if s.opts.Metrics != nil && err == nil {
 			if hit {
 				s.opts.Metrics.CoalesceHit()
@@ -273,12 +333,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		if err != nil {
-			s.writeError(w, err) // this waiter cancelled; the flight lives on
+			// This caller stopped waiting (its own deadline or hang-up);
+			// the flight lives on for the other participants.
+			s.writeError(w, err)
 			return
 		}
 	}
 	if res.Err != nil {
-		s.writeError(w, res.Err)
+		s.writeError(w, deadlineClass(res.Err))
 		return
 	}
 	writeJSON(w, http.StatusOK, toResponse(req, res, hit, time.Since(start)))

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/indoorspatial/ifls/internal/obs"
 )
@@ -17,8 +18,38 @@ const DefaultMaxInFlight = 256
 // Options.MaxBodyBytes is zero (a 10000-client query body is ~1 MB).
 const DefaultMaxBodyBytes = 8 << 20
 
+// DefaultAbandonGrace is how long an abandoned flight — one whose every
+// participant's request context has died — keeps running before it is
+// reaped, when Options.AbandonGrace is zero. Long enough for an identical
+// retry to catch the flight mid-air, short enough that a scan of unique
+// queries from disconnecting clients does not leak whole traversals.
+const DefaultAbandonGrace = 100 * time.Millisecond
+
+// DefaultRetryAfterSeconds is the Retry-After header value sent with 429
+// overloaded and 503 draining responses when Options.RetryAfterSeconds is
+// zero.
+const DefaultRetryAfterSeconds = 1
+
+// Hooks intercept serving-internal operations, primarily for fault
+// injection (internal/chaos) and operational testing. All hooks may be
+// called concurrently; a nil hook is skipped.
+type Hooks struct {
+	// BeforeExecute runs on the flight goroutine after admission and
+	// venue resolution, immediately before the solver executes. It may
+	// block (latency injection) — it should honor ctx — and a non-nil
+	// return fails the query with that error, classified through the
+	// faults taxonomy like any solver failure.
+	BeforeExecute func(ctx context.Context, venue string) error
+	// BeforeBuild runs before a lazy venue's index build is triggered by a
+	// query. A non-nil return fails that request without invoking (or
+	// caching anything in) the real build; blocking simulates a slow
+	// build.
+	BeforeBuild func(ctx context.Context, venue string) error
+}
+
 // Options configure a Server. The zero value serves with coalescing on,
-// the default admission and body limits, and no metrics.
+// the default admission, body, and reap-grace limits, no query deadline,
+// and no metrics.
 type Options struct {
 	// MaxInFlight caps the queries admitted per venue at once; excess
 	// requests are shed with 429/ErrOverloaded. Zero means
@@ -34,6 +65,22 @@ type Options struct {
 	// MaxBodyBytes caps the request body size (413 beyond it). Zero means
 	// DefaultMaxBodyBytes.
 	MaxBodyBytes int64
+	// QueryTimeout bounds every query's wall time server-side; a query
+	// that exceeds it terminates with 504/ErrDeadlineExceeded. A request
+	// may shorten (never extend) its own deadline with the timeout_ms
+	// body field. Zero means no server-side deadline. Coalesced flights
+	// run until the MAX deadline across their participants.
+	QueryTimeout time.Duration
+	// AbandonGrace is how long a coalesced flight whose participants have
+	// all departed keeps running before it is cancelled (reaped). Zero
+	// means DefaultAbandonGrace; negative disables reaping (pre-reaping
+	// behavior: abandoned flights run to completion).
+	AbandonGrace time.Duration
+	// RetryAfterSeconds is the Retry-After value sent with 429 overloaded
+	// and 503 draining responses. Zero means DefaultRetryAfterSeconds.
+	RetryAfterSeconds int
+	// Hooks intercept serving internals for fault injection; see Hooks.
+	Hooks Hooks
 }
 
 // Server is the multi-venue IFLS query service: an http.Handler over a
@@ -68,15 +115,23 @@ type Server struct {
 // venues after the server starts.
 func New(reg *Registry, opts Options) *Server {
 	life, stop := context.WithCancel(context.Background())
+	grace := opts.AbandonGrace
+	if grace == 0 {
+		grace = DefaultAbandonGrace
+	}
 	s := &Server{
 		reg:  reg,
 		opts: opts,
-		co:   newCoalescer(),
 		mux:  http.NewServeMux(),
 		life: life,
 		stop: stop,
 		sems: map[string]chan struct{}{},
 	}
+	var onReap func()
+	if opts.Metrics != nil {
+		onReap = opts.Metrics.FlightReaped
+	}
+	s.co = newCoalescer(life, grace, onReap)
 	s.mux.HandleFunc("/v1/query", s.handleQuery)
 	s.mux.HandleFunc("/v1/venues", s.handleVenues)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -165,4 +220,27 @@ func (s *Server) maxBodyBytes() int64 {
 		return s.opts.MaxBodyBytes
 	}
 	return DefaultMaxBodyBytes
+}
+
+// retryAfterSeconds returns the configured Retry-After header value for
+// shed (429) and draining (503) responses.
+func (s *Server) retryAfterSeconds() int {
+	if s.opts.RetryAfterSeconds > 0 {
+		return s.opts.RetryAfterSeconds
+	}
+	return DefaultRetryAfterSeconds
+}
+
+// queryDeadline resolves the effective timeout for one request: the
+// server-wide QueryTimeout, shortened — never extended — by the request's
+// own timeout_ms override. Zero means unbounded.
+func (s *Server) queryDeadline(overrideMS int64) time.Duration {
+	d := s.opts.QueryTimeout
+	if overrideMS > 0 {
+		o := time.Duration(overrideMS) * time.Millisecond
+		if d == 0 || o < d {
+			d = o
+		}
+	}
+	return d
 }

@@ -404,6 +404,7 @@ func TestExpvarCatalog(t *testing.T) {
 		"queries", "errors", "cancellations", "found", "stages", "latency",
 		"clients", "pruned_clients", "distance_calcs", "queue_pops",
 		"prune_rate", "coalesce_hits", "coalesce_misses", "in_flight",
+		"queries_timed_out", "flights_reaped",
 	} {
 		if _, ok := rendered[key]; !ok {
 			t.Errorf("expvar key %q missing from metrics export", key)

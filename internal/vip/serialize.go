@@ -1,10 +1,15 @@
 package vip
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"math"
 
+	"github.com/indoorspatial/ifls/internal/faults"
 	"github.com/indoorspatial/ifls/internal/indoor"
 )
 
@@ -14,6 +19,26 @@ import (
 // the construction Dijkstras. The venue itself is serialized separately
 // (indoor JSON); Load verifies the tree matches the venue it is loaded
 // against.
+//
+// # Index file format
+//
+// Because index files are loaded at process startup and a silently corrupt
+// index would serve wrong distances for every query, the on-disk format is
+// a self-verifying envelope around the gob payload:
+//
+//	offset  size  field
+//	0       8     magic "IFLSVIP\x00"
+//	8       4     format version, uint32 little-endian (currently 2)
+//	12      8     payload length in bytes, uint64 little-endian
+//	20      4     CRC-32C (Castagnoli) of the payload, uint32 little-endian
+//	24      n     gob-encoded treeGob payload
+//
+// Load verifies the envelope (magic, version, length, checksum), decodes
+// the payload, and then deep-validates the decoded structure — reference
+// ranges, matrix dimensions, distance values — before constructing a Tree.
+// Every integrity failure is classified faults.ErrCorruptIndex; loading an
+// index against the wrong venue is faults.ErrInvalidOptions (the file is
+// fine, the pairing is not). A failed Load never returns a partial tree.
 
 // treeGob mirrors Tree for gob encoding.
 type treeGob struct {
@@ -43,9 +68,29 @@ type nodeGob struct {
 	Anc      [][][]float64
 }
 
+// gobVersion is the payload schema version carried inside the gob.
 const gobVersion = 1
 
-// Save serializes the tree. The format is Go-version-independent gob.
+// indexFormatVersion is the envelope version in the file header. Version 1
+// was a bare gob stream with no integrity header; version 2 added the
+// magic/version/length/CRC envelope.
+const indexFormatVersion = 2
+
+// indexMagic is the 8-byte file signature. The trailing NUL keeps the
+// magic from ever being a prefix of valid UTF-8 text formats.
+var indexMagic = [8]byte{'I', 'F', 'L', 'S', 'V', 'I', 'P', 0}
+
+// maxIndexPayload caps the declared payload size Load will allocate for.
+// The largest real venue indexes are hundreds of megabytes; a header
+// declaring more than this is corrupt (or adversarial), not large.
+const maxIndexPayload = 1 << 31
+
+// castagnoli is the CRC-32C table used for payload checksums (the same
+// polynomial used by iSCSI and ext4 — hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Save serializes the tree: a checksummed envelope (see the package
+// comment above treeGob) around a Go-version-independent gob payload.
 //
 // Save is a read-only operation and is safe to call concurrently with
 // queries on the same tree. Its output is deterministic: two trees built
@@ -75,12 +120,34 @@ func (t *Tree) Save(w io.Writer) error {
 			AncIDs: nd.ancIDs, Anc: nd.anc,
 		})
 	}
-	return gob.NewEncoder(w).Encode(out)
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(out); err != nil {
+		return fmt.Errorf("vip: encoding tree: %w", err)
+	}
+	header := make([]byte, 24)
+	copy(header, indexMagic[:])
+	binary.LittleEndian.PutUint32(header[8:], indexFormatVersion)
+	binary.LittleEndian.PutUint64(header[12:], uint64(payload.Len()))
+	binary.LittleEndian.PutUint32(header[20:], crc32.Checksum(payload.Bytes(), castagnoli))
+	if _, err := w.Write(header); err != nil {
+		return fmt.Errorf("vip: writing index header: %w", err)
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return fmt.Errorf("vip: writing index payload: %w", err)
+	}
+	return nil
+}
+
+// corrupt wraps a description into the ErrCorruptIndex class.
+func corrupt(format string, a ...any) error {
+	return fmt.Errorf("%w: %s", faults.ErrCorruptIndex, fmt.Sprintf(format, a...))
 }
 
 // Load restores a tree previously written with Save and binds it to
 // venue v, which must be the same venue the tree was built from (verified
-// by name and by partition/door counts).
+// by name and by partition/door counts; a mismatch is ErrInvalidOptions).
+// Any integrity failure — truncation, bit flips, header tampering, decoded
+// structure that fails validation — returns ErrCorruptIndex and no tree.
 //
 // Like Build, Load fully initializes the tree before returning, so the
 // returned *Tree is immediately safe for concurrent readers. The one
@@ -88,17 +155,45 @@ func (t *Tree) Save(w io.Writer) error {
 // drops (it is not serialized); Tree.Graph rebuilds it on first use behind
 // a sync.Once, keeping that path concurrency-safe too.
 func Load(r io.Reader, v *indoor.Venue) (*Tree, error) {
+	header := make([]byte, 24)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return nil, corrupt("index header truncated: %v", err)
+	}
+	if !bytes.Equal(header[:8], indexMagic[:]) {
+		return nil, corrupt("bad magic %q (not an IFLS index file)", header[:8])
+	}
+	if ver := binary.LittleEndian.Uint32(header[8:]); ver != indexFormatVersion {
+		return nil, corrupt("unsupported index format version %d (this build reads %d)", ver, indexFormatVersion)
+	}
+	size := binary.LittleEndian.Uint64(header[12:])
+	if size == 0 || size > maxIndexPayload {
+		return nil, corrupt("implausible payload length %d", size)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, corrupt("index payload truncated: %v", err)
+	}
+	if sum := crc32.Checksum(payload, castagnoli); sum != binary.LittleEndian.Uint32(header[20:]) {
+		return nil, corrupt("payload checksum mismatch (got %08x, header says %08x)",
+			sum, binary.LittleEndian.Uint32(header[20:]))
+	}
+
 	var in treeGob
-	if err := gob.NewDecoder(r).Decode(&in); err != nil {
-		return nil, fmt.Errorf("vip: decoding tree: %w", err)
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&in); err != nil {
+		return nil, corrupt("decoding tree: %v", err)
 	}
 	if in.Version != gobVersion {
-		return nil, fmt.Errorf("vip: unsupported tree format version %d", in.Version)
+		return nil, corrupt("unsupported tree payload version %d", in.Version)
 	}
 	if in.VenueName != v.Name || in.Partitions != v.NumPartitions() || in.Doors != v.NumDoors() {
-		return nil, fmt.Errorf("vip: tree was built for venue %q (%d partitions, %d doors), got %q (%d, %d)",
+		return nil, fmt.Errorf("%w: tree was built for venue %q (%d partitions, %d doors), got %q (%d, %d)",
+			faults.ErrInvalidOptions,
 			in.VenueName, in.Partitions, in.Doors, v.Name, v.NumPartitions(), v.NumDoors())
 	}
+	if err := validateTreeGob(&in, v); err != nil {
+		return nil, err
+	}
+
 	t := &Tree{
 		venue:  v,
 		opts:   in.Opts,
@@ -128,9 +223,126 @@ func Load(r io.Reader, v *indoor.Venue) (*Tree, error) {
 		t.nodes = append(t.nodes, nd)
 	}
 	if err := t.CheckInvariants(); err != nil {
-		return nil, fmt.Errorf("vip: loaded tree invalid: %w", err)
+		return nil, corrupt("loaded tree invalid: %v", err)
 	}
 	// Rebuild the door graph lazily used by Graph()/path queries.
 	t.graph = nil
 	return t, nil
+}
+
+// validateTreeGob deep-validates a decoded payload before any Tree is
+// constructed from it: every node/partition/door reference must be in
+// range, every matrix must have the dimensions its door lists imply, and
+// every distance must be a non-negative, non-NaN float (+Inf is legal — it
+// encodes unreachable door pairs in disconnected venues). Range checks run
+// here, before CheckInvariants, because the invariant checker indexes
+// slices by decoded IDs and would panic on out-of-range values instead of
+// returning an error.
+func validateTreeGob(in *treeGob, v *indoor.Venue) error {
+	nNodes := len(in.Nodes)
+	if nNodes == 0 {
+		return corrupt("tree has no nodes")
+	}
+	if in.Root < 0 || int(in.Root) >= nNodes {
+		return corrupt("root %d out of range [0,%d)", in.Root, nNodes)
+	}
+	if len(in.LeafOf) != v.NumPartitions() {
+		return corrupt("leafOf has %d entries, venue has %d partitions", len(in.LeafOf), v.NumPartitions())
+	}
+	for p, id := range in.LeafOf {
+		if id < 0 || int(id) >= nNodes {
+			return corrupt("leafOf[%d] = %d out of range [0,%d)", p, id, nNodes)
+		}
+	}
+	if len(in.Depth) != nNodes {
+		return corrupt("depth has %d entries for %d nodes", len(in.Depth), nNodes)
+	}
+	nodeRef := func(what string, i int, id NodeID) error {
+		if id < 0 || int(id) >= nNodes {
+			return corrupt("node %d: %s %d out of range [0,%d)", i, what, id, nNodes)
+		}
+		return nil
+	}
+	doorRef := func(what string, i int, id indoor.DoorID) error {
+		if id < 0 || int(id) >= v.NumDoors() {
+			return corrupt("node %d: %s door %d out of range [0,%d)", i, what, id, v.NumDoors())
+		}
+		return nil
+	}
+	matrix := func(what string, i int, m [][]float64, rows, cols int) error {
+		if len(m) != rows {
+			return corrupt("node %d: %s matrix has %d rows, want %d", i, what, len(m), rows)
+		}
+		for r, row := range m {
+			if len(row) != cols {
+				return corrupt("node %d: %s matrix row %d has %d columns, want %d", i, what, r, len(row), cols)
+			}
+			for c, d := range row {
+				if math.IsNaN(d) || d < 0 {
+					return corrupt("node %d: %s[%d][%d] = %v (distances are non-negative, non-NaN)", i, what, r, c, d)
+				}
+			}
+		}
+		return nil
+	}
+	for i, ng := range in.Nodes {
+		if ng.ID != NodeID(i) {
+			return corrupt("node at index %d has id %d", i, ng.ID)
+		}
+		if ng.Parent != NoNode {
+			if err := nodeRef("parent", i, ng.Parent); err != nil {
+				return err
+			}
+		}
+		for _, c := range ng.Children {
+			if err := nodeRef("child", i, c); err != nil {
+				return err
+			}
+		}
+		for _, p := range ng.Parts {
+			if p < 0 || int(p) >= v.NumPartitions() {
+				return corrupt("node %d: partition %d out of range [0,%d)", i, p, v.NumPartitions())
+			}
+		}
+		for _, d := range ng.Doors {
+			if err := doorRef("leaf", i, d); err != nil {
+				return err
+			}
+		}
+		for _, d := range ng.Access {
+			if err := doorRef("access", i, d); err != nil {
+				return err
+			}
+		}
+		for _, d := range ng.UDoors {
+			if err := doorRef("union", i, d); err != nil {
+				return err
+			}
+		}
+		// Every leaf carries its door×door matrix; every internal node its
+		// union-door matrix (fillMatrices allocates both unconditionally).
+		if ng.Leaf {
+			if err := matrix("full", i, ng.Full, len(ng.Doors), len(ng.Doors)); err != nil {
+				return err
+			}
+		} else {
+			if err := matrix("union", i, ng.UMat, len(ng.UDoors), len(ng.UDoors)); err != nil {
+				return err
+			}
+		}
+		if len(ng.Anc) != len(ng.AncIDs) {
+			return corrupt("node %d: %d ancestor matrices for %d ancestor ids", i, len(ng.Anc), len(ng.AncIDs))
+		}
+		for k, a := range ng.AncIDs {
+			if err := nodeRef("ancestor", i, a); err != nil {
+				return err
+			}
+			// Ancestor matrix: rows are the leaf's doors, columns the
+			// ancestor's access doors.
+			if err := matrix("ancestor", i, ng.Anc[k], len(ng.Doors), len(in.Nodes[a].Access)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }

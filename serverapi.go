@@ -3,6 +3,7 @@ package ifls
 import (
 	"context"
 	"net/http"
+	"time"
 
 	"github.com/indoorspatial/ifls/internal/faults"
 	"github.com/indoorspatial/ifls/internal/server"
@@ -13,6 +14,23 @@ import (
 // boundary: the target venue is at its in-flight limit. Retry after
 // backing off. Part of the error taxonomy; classify with errors.Is.
 var ErrOverloaded = faults.ErrOverloaded
+
+// ErrDeadlineExceeded marks queries terminated by a server-side deadline:
+// the configured query timeout (or the request's own clamped timeout_ms)
+// expired before the traversal converged. Served as 504. Part of the error
+// taxonomy; classify with errors.Is.
+var ErrDeadlineExceeded = faults.ErrDeadlineExceeded
+
+// ErrCorruptIndex marks persisted indexes that fail integrity verification
+// on load: a mangled header, checksum mismatch, or decoded structure that
+// fails deep validation. LoadIndex never returns a partial index alongside
+// it. Part of the error taxonomy; classify with errors.Is.
+var ErrCorruptIndex = faults.ErrCorruptIndex
+
+// ServerHooks intercept serving internals, primarily for fault injection
+// and operational testing; see the fields' documentation. All hooks may be
+// called concurrently; nil hooks are skipped.
+type ServerHooks = server.Hooks
 
 // ServerOptions configure NewServer. The zero value serves with request
 // coalescing on, the default per-venue admission limit
@@ -32,6 +50,21 @@ type ServerOptions struct {
 	// MaxRequestBytes caps the request body size (413 beyond it). Zero
 	// applies the default (8 MiB).
 	MaxRequestBytes int64
+	// QueryTimeout bounds every query's wall time server-side (504 beyond
+	// it, classified ErrDeadlineExceeded). A request may shorten — never
+	// extend — its own deadline with the timeout_ms body field. Zero means
+	// no server-side deadline.
+	QueryTimeout time.Duration
+	// AbandonGrace is how long a coalesced flight whose participants have
+	// all disconnected keeps running before it is cancelled (reaped). Zero
+	// applies the default (100ms); negative disables reaping.
+	AbandonGrace time.Duration
+	// RetryAfterSeconds is the Retry-After header value sent with 429
+	// overloaded and 503 draining responses. Zero applies the default (1).
+	RetryAfterSeconds int
+	// Hooks intercept serving internals for fault injection (chaos
+	// testing); leave zero in production.
+	Hooks ServerHooks
 }
 
 // Server is a multi-venue IFLS query service over HTTP: a registry of warm
@@ -54,6 +87,10 @@ func NewServer(opts ServerOptions) *Server {
 		DisableCoalescing: opts.DisableCoalescing,
 		Metrics:           opts.Metrics,
 		MaxBodyBytes:      opts.MaxRequestBytes,
+		QueryTimeout:      opts.QueryTimeout,
+		AbandonGrace:      opts.AbandonGrace,
+		RetryAfterSeconds: opts.RetryAfterSeconds,
+		Hooks:             opts.Hooks,
 	})}
 }
 
