@@ -14,9 +14,15 @@
 //	iflsd -venues MC -query-timeout 250ms          # bound every query's wall time
 //
 // Index files are written atomically (temp file + rename), so a crash
-// mid-save never leaves a half-written index; on load they are verified
-// (magic, version, checksum, deep validation) and a corrupt file is
-// refused at startup with a typed error instead of serving garbage.
+// mid-save never leaves a half-written index. -saveindex emits the paged
+// (v3) format: tree structure in a verified envelope, distance matrices in
+// individually-checksummed pages that fault in through an LRU cache
+// (-page-cache, -mmap) — so an -indexfile boot is query-ready in
+// milliseconds regardless of matrix size. On open, the structure is
+// verified (magic, version, checksum, deep validation) and a corrupt file
+// is refused at startup; a corrupt matrix page is caught by its CRC at
+// fault time and fails that query with a typed error instead of serving
+// garbage. Monolithic (v2) files load as before, fully materialized.
 //
 // A quick session against a running daemon:
 //
@@ -62,7 +68,10 @@ func run() error {
 	queryTimeout := flag.Duration("query-timeout", 0, "server-side per-query deadline, 504 beyond it (0 = unbounded); must be below -drain-timeout")
 	reapGrace := flag.Duration("reap-grace", 0, "grace before an abandoned coalesced flight is cancelled (0 = default 100ms, negative = never reap)")
 	retryAfter := flag.Int("retry-after", 0, "Retry-After seconds sent with 429/503 responses (0 = default 1)")
-	saveIndexFiles := flag.String("saveindex", "", "comma-separated NAME=PATH destinations for built indexes, written atomically")
+	saveIndexFiles := flag.String("saveindex", "", "comma-separated NAME=PATH destinations for built indexes (paged v3 format), written atomically")
+	pageSize := flag.Int("page-size", 0, "page payload bytes for -saveindex files (0 = 64 KiB default; must be a positive multiple of 8)")
+	pageCache := flag.Int64("page-cache", 0, "page-cache byte budget for paged -indexfile indexes (0 = 64 MiB default, negative = unlimited)")
+	useMmap := flag.Bool("mmap", false, "mmap the page section of paged -indexfile indexes instead of reading pages on demand")
 	buildOnly := flag.Bool("build-only", false, "build and -saveindex the indexes, then exit without serving")
 	chaosLatency := flag.Duration("chaos-latency", 0, "inject up to this much random latency into every query (fault-injection testing only)")
 	flag.Parse()
@@ -108,19 +117,22 @@ func run() error {
 		return err
 	}
 
+	var opened []*ifls.Index // paged indexes to release after the drain
 	register := func(name string, v *ifls.Venue) error {
 		var ix *ifls.Index
 		if path, ok := indexes[name]; ok {
-			f, err := os.Open(path)
-			if err != nil {
-				return err
-			}
-			ix, err = ifls.LoadIndex(f, v)
-			f.Close()
+			start := time.Now()
+			var err error
+			ix, err = ifls.OpenIndexFile(path, v, ifls.PagedIndexOptions{
+				CacheBytes: *pageCache,
+				Mmap:       *useMmap,
+				Metrics:    m,
+			})
 			if err != nil {
 				return fmt.Errorf("index %q: %w", path, err)
 			}
-			log.Printf("venue %q: index loaded from %s", name, path)
+			opened = append(opened, ix)
+			log.Printf("venue %q: index opened from %s in %v", name, path, time.Since(start).Round(time.Microsecond))
 		} else {
 			if *lazy {
 				log.Printf("venue %q: index deferred to first query", name)
@@ -137,7 +149,7 @@ func run() error {
 				name, s.Partitions, s.Doors, s.Levels, time.Since(start).Round(time.Millisecond))
 		}
 		if path, ok := saves[name]; ok {
-			if err := saveIndexAtomic(ix, path); err != nil {
+			if err := saveIndexAtomic(ix, path, *pageSize); err != nil {
 				return fmt.Errorf("saving index for %q: %w", name, err)
 			}
 			log.Printf("venue %q: index saved to %s", name, path)
@@ -210,26 +222,33 @@ func run() error {
 	if err := hs.Shutdown(httpCtx); err != nil {
 		return err
 	}
+	// Every query is drained; release paged-index files and mappings.
+	for _, ix := range opened {
+		if err := ix.Close(); err != nil {
+			log.Printf("closing paged index: %v", err)
+		}
+	}
 	snap := m.Snapshot()
 	log.Printf("drained: %d queries served (%d errors, %d coalesce hits / %d misses)",
 		snap.Queries, snap.Errors, snap.CoalesceHits, snap.CoalesceMisses)
 	return nil
 }
 
-// saveIndexAtomic persists an index with the temp-file-and-rename dance:
-// the bytes land in a temp file in the destination directory, are synced
-// to disk, and only then renamed over the final path. A crash at any point
-// leaves either the old file or no file — never a half-written index (the
-// loader would refuse one anyway, via its checksum, but a clean save
-// should not depend on that).
-func saveIndexAtomic(ix *ifls.Index, path string) error {
+// saveIndexAtomic persists an index — in the paged (v3) format, so a later
+// -indexfile boot is query-ready without reading the matrix heap — with the
+// temp-file-and-rename dance: the bytes land in a temp file in the
+// destination directory, are synced to disk, and only then renamed over the
+// final path. A crash at any point leaves either the old file or no file —
+// never a half-written index (the loader would refuse one anyway, via its
+// checksums, but a clean save should not depend on that).
+func saveIndexAtomic(ix *ifls.Index, path string, pageSize int) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
 	defer os.Remove(tmp.Name()) // no-op once the rename has happened
-	if err := ix.Save(tmp); err != nil {
+	if err := ix.SavePaged(tmp, ifls.PagedSaveOptions{PageSize: pageSize}); err != nil {
 		tmp.Close()
 		return err
 	}

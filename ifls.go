@@ -234,8 +234,10 @@ func (ix *Index) Venue() *Venue { return ix.venue }
 // Venue.WriteJSON.
 func (ix *Index) Save(w io.Writer) error { return ix.tree.Save(w) }
 
-// LoadIndex restores an index previously written with Index.Save, bound to
-// the venue it was built from.
+// LoadIndex restores an index previously written with Index.Save or
+// Index.SavePaged, bound to the venue it was built from. Both formats come
+// back fully materialized; to open a paged file lazily through the page
+// cache, use OpenIndexFile.
 func LoadIndex(r io.Reader, v *Venue) (*Index, error) {
 	t, err := vip.Load(r, v)
 	if err != nil {
@@ -243,6 +245,61 @@ func LoadIndex(r io.Reader, v *Venue) (*Index, error) {
 	}
 	return &Index{venue: v, tree: t, locator: locate.New(v)}, nil
 }
+
+// PagedSaveOptions configure Index.SavePaged.
+type PagedSaveOptions struct {
+	// PageSize is the page payload size in bytes. Zero selects the 64 KiB
+	// default; any other value must be a positive multiple of 8.
+	PageSize int
+}
+
+// SavePaged persists the index in the paged (version 3) format: the tree
+// structure in a verified envelope, the distance matrices in fixed-size
+// individually-checksummed pages. A process that reopens the file with
+// OpenIndexFile is query-ready as soon as the structure is read — matrix
+// pages fault in lazily — which turns restart time from proportional-to-
+// matrix-heap into milliseconds. LoadIndex also accepts the format,
+// materializing it fully.
+func (ix *Index) SavePaged(w io.Writer, o PagedSaveOptions) error {
+	return ix.tree.SavePaged(w, vip.PagedSaveOptions{PageSize: o.PageSize})
+}
+
+// PagedIndexOptions configure how OpenIndexFile serves a paged index file.
+// The zero value is ready to use.
+type PagedIndexOptions struct {
+	// CacheBytes bounds the page cache. Zero selects the 64 MiB default;
+	// negative removes the bound.
+	CacheBytes int64
+	// Mmap maps the page section instead of reading pages with pread.
+	// Ignored on platforms without mmap support.
+	Mmap bool
+	// Metrics, when non-nil, receives page_cache_hits / page_cache_misses /
+	// page_cache_evictions / pages_read counts from this index's cache.
+	Metrics *Metrics
+}
+
+// OpenIndexFile opens a saved index file from disk, sniffing its format: a
+// paged (version 3) file opens lazily through an LRU page cache sized by o,
+// and the file stays open for the life of the index — release it with
+// Index.Close. A monolithic (version 2) file is fully materialized as with
+// LoadIndex, and o is irrelevant. Either way the returned index answers
+// queries identically; only residency and restart latency differ.
+func OpenIndexFile(path string, v *Venue, o PagedIndexOptions) (*Index, error) {
+	po := vip.PagedOptions{CacheBytes: o.CacheBytes, Mmap: o.Mmap}
+	if o.Metrics != nil {
+		po.Metrics = o.Metrics
+	}
+	t, err := vip.OpenFile(path, v, po)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{venue: v, tree: t, locator: locate.New(v)}, nil
+}
+
+// Close releases resources held by a paged index — the page cache and the
+// underlying file or mapping. On a fully-resident index it is a no-op.
+// Queries must not be in flight or issued after Close.
+func (ix *Index) Close() error { return ix.tree.Close() }
 
 // guard runs fn and converts any escaping panic into an ErrSolverPanic
 // error, containing the failure to the calling query. It is the single

@@ -254,13 +254,14 @@ func Counters(w io.Writer, r *Runner, cfg Config) ([]Measurement, error) {
 
 // Figures maps figure identifiers to their drivers.
 var Figures = map[string]func(io.Writer, *Runner, Config) ([]Measurement, error){
-	"5":        Fig5,
-	"6":        Fig6,
-	"7a":       Fig7a,
-	"7b":       Fig7b,
-	"7c":       Fig7c,
-	"counters": Counters,
-	"parallel": Parallel,
+	"5":         Fig5,
+	"6":         Fig6,
+	"7a":        Fig7a,
+	"7b":        Fig7b,
+	"7c":        Fig7c,
+	"counters":  Counters,
+	"parallel":  Parallel,
+	"coldstart": ColdStart,
 }
 
 // FigureOrder lists figure identifiers in paper order. Figures 8a-8c share

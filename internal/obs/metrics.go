@@ -108,6 +108,16 @@ type Metrics struct {
 	// abandon grace elapsed.
 	queriesTimedOut atomic.Int64
 	flightsReaped   atomic.Int64
+
+	// Paged-index counters (internal/pager, fed by every page cache of
+	// every paged index wired to this Metrics): hits and misses partition
+	// page lookups, evictions counts pages dropped under budget pressure,
+	// and pagesRead counts physical page reads from disk (or the mapping).
+	// *Metrics satisfies pager.Metrics structurally.
+	pageCacheHits      atomic.Int64
+	pageCacheMisses    atomic.Int64
+	pageCacheEvictions atomic.Int64
+	pagesRead          atomic.Int64
 }
 
 // NewMetrics returns an empty Metrics.
@@ -177,6 +187,22 @@ func (m *Metrics) QueryTimedOut() { m.queriesTimedOut.Add(1) }
 // was waiting for. Safe for concurrent use.
 func (m *Metrics) FlightReaped() { m.flightsReaped.Add(1) }
 
+// PageCacheHit records one index page served from the page cache. Safe for
+// concurrent use.
+func (m *Metrics) PageCacheHit() { m.pageCacheHits.Add(1) }
+
+// PageCacheMiss records one index page fault that went to the page source.
+// Safe for concurrent use.
+func (m *Metrics) PageCacheMiss() { m.pageCacheMisses.Add(1) }
+
+// PageCacheEviction records one index page dropped from the page cache to
+// stay inside its byte budget. Safe for concurrent use.
+func (m *Metrics) PageCacheEviction() { m.pageCacheEvictions.Add(1) }
+
+// PageRead records one physical index page read from disk (or a mapping).
+// Safe for concurrent use.
+func (m *Metrics) PageRead() { m.pagesRead.Add(1) }
+
 // InFlight returns the current value of the in-flight query gauge.
 func (m *Metrics) InFlight() int64 { return m.inFlight.Load() }
 
@@ -229,6 +255,10 @@ type Snapshot struct {
 	// (504 responses); FlightsReaped counts shared flights cancelled after
 	// every participant departed (abandoned work released).
 	QueriesTimedOut, FlightsReaped int64
+	// PageCacheHits/PageCacheMisses partition page lookups of paged
+	// indexes; PageCacheEvictions counts budget-pressure drops; PagesRead
+	// counts physical page reads.
+	PageCacheHits, PageCacheMisses, PageCacheEvictions, PagesRead int64
 }
 
 // Snapshot returns a consistent-enough copy for serving: each field is
@@ -249,6 +279,11 @@ func (m *Metrics) Snapshot() Snapshot {
 		InFlight:        m.inFlight.Load(),
 		QueriesTimedOut: m.queriesTimedOut.Load(),
 		FlightsReaped:   m.flightsReaped.Load(),
+
+		PageCacheHits:      m.pageCacheHits.Load(),
+		PageCacheMisses:    m.pageCacheMisses.Load(),
+		PageCacheEvictions: m.pageCacheEvictions.Load(),
+		PagesRead:          m.pagesRead.Load(),
 	}
 	for i := range m.stages {
 		s.Stages[i] = m.stages[i].Load()
@@ -301,6 +336,11 @@ func (m *Metrics) expvarMap() map[string]any {
 		"in_flight":         s.InFlight,
 		"queries_timed_out": s.QueriesTimedOut,
 		"flights_reaped":    s.FlightsReaped,
+
+		"page_cache_hits":      s.PageCacheHits,
+		"page_cache_misses":    s.PageCacheMisses,
+		"page_cache_evictions": s.PageCacheEvictions,
+		"pages_read":           s.PagesRead,
 	}
 	if !math.IsNaN(s.GdFinalAvg) {
 		out["gd_final_avg"] = s.GdFinalAvg

@@ -1,0 +1,157 @@
+package pager
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics receives the cache's counter events; *obs.Metrics satisfies it
+// structurally, which keeps this package dependency-free. All methods may
+// be called concurrently; a nil Metrics is skipped.
+type Metrics interface {
+	// PageCacheHit records a page served from the cache.
+	PageCacheHit()
+	// PageCacheMiss records a page fault that went to the source.
+	PageCacheMiss()
+	// PageCacheEviction records a page dropped to stay inside the budget.
+	PageCacheEviction()
+	// PageRead records one physical page read from the source.
+	PageRead()
+}
+
+// Stats is a point-in-time copy of a cache's own counters, for callers
+// without an obs pipeline (tests, benchmarks, one-shot dumps).
+type Stats struct {
+	// Hits and Misses partition Page calls; Evictions counts pages dropped
+	// under budget pressure; PagesRead counts physical source reads (at
+	// least Misses; more under concurrent faults on one page).
+	Hits, Misses, Evictions, PagesRead int64
+	// CachedBytes and CachedPages describe the current residency.
+	CachedBytes int64
+	CachedPages int
+}
+
+// Cache is an LRU page cache over a PageSource with a byte budget: Page
+// returns the requested page from memory when resident, otherwise faults
+// it in from the source and evicts least-recently-used pages until the
+// budget holds again. A budget smaller than one page effectively disables
+// caching (every fault reads the source) but stays correct — returned
+// payloads are immutable and remain valid after eviction.
+//
+// Safe for concurrent use. Faults read the source outside the lock, so a
+// slow read never blocks hits on other pages; concurrent faults on the
+// same page may each read it once (the duplicates are dropped, counted in
+// PagesRead but not cached twice).
+type Cache struct {
+	src     PageSource
+	budget  int64
+	metrics Metrics
+
+	mu      sync.Mutex
+	ll      *list.List // front = most recently used; values are *cacheEntry
+	entries map[int]*list.Element
+	used    int64
+
+	hits, misses, evictions, pagesRead atomic.Int64
+}
+
+// cacheEntry is one resident page.
+type cacheEntry struct {
+	page    int
+	payload []byte
+}
+
+// NewCache returns an LRU cache over src holding at most budgetBytes of
+// page payloads (0 or negative caches nothing). Counter events go to m
+// when non-nil.
+func NewCache(src PageSource, budgetBytes int64, m Metrics) *Cache {
+	return &Cache{
+		src:     src,
+		budget:  budgetBytes,
+		metrics: m,
+		ll:      list.New(),
+		entries: map[int]*list.Element{},
+	}
+}
+
+// Source returns the underlying page source.
+func (c *Cache) Source() PageSource { return c.src }
+
+// Budget returns the configured byte budget.
+func (c *Cache) Budget() int64 { return c.budget }
+
+// Page returns page i's payload, from the cache or the source. The
+// returned slice is immutable and stays valid after eviction (FilePager
+// sources; see MmapPager.Close for the mapping caveat).
+func (c *Cache) Page(i int) ([]byte, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[i]; ok {
+		c.ll.MoveToFront(el)
+		payload := el.Value.(*cacheEntry).payload
+		c.mu.Unlock()
+		c.hits.Add(1)
+		if c.metrics != nil {
+			c.metrics.PageCacheHit()
+		}
+		return payload, nil
+	}
+	c.mu.Unlock()
+
+	c.misses.Add(1)
+	if c.metrics != nil {
+		c.metrics.PageCacheMiss()
+	}
+	payload, err := c.src.ReadPage(i)
+	if err != nil {
+		return nil, err
+	}
+	c.pagesRead.Add(1)
+	if c.metrics != nil {
+		c.metrics.PageRead()
+	}
+
+	c.mu.Lock()
+	if _, ok := c.entries[i]; !ok && c.budget > 0 {
+		c.entries[i] = c.ll.PushFront(&cacheEntry{page: i, payload: payload})
+		c.used += int64(len(payload))
+		for c.used > c.budget && c.ll.Len() > 0 {
+			back := c.ll.Back()
+			ent := back.Value.(*cacheEntry)
+			c.ll.Remove(back)
+			delete(c.entries, ent.page)
+			c.used -= int64(len(ent.payload))
+			c.evictions.Add(1)
+			if c.metrics != nil {
+				c.metrics.PageCacheEviction()
+			}
+		}
+	}
+	c.mu.Unlock()
+	return payload, nil
+}
+
+// Stats returns a copy of the cache's counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	bytes, pages := c.used, c.ll.Len()
+	c.mu.Unlock()
+	return Stats{
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Evictions:   c.evictions.Load(),
+		PagesRead:   c.pagesRead.Load(),
+		CachedBytes: bytes,
+		CachedPages: pages,
+	}
+}
+
+// Close drops all resident pages and closes the source.
+func (c *Cache) Close() error {
+	c.mu.Lock()
+	c.ll.Init()
+	c.entries = map[int]*list.Element{}
+	c.used = 0
+	c.mu.Unlock()
+	return c.src.Close()
+}

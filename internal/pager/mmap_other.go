@@ -1,0 +1,31 @@
+//go:build !linux && !darwin
+
+package pager
+
+import (
+	"errors"
+	"os"
+)
+
+// MmapSupported reports whether this platform can serve pages from a
+// read-only memory mapping; false here, so callers fall back to the pread
+// source.
+const MmapSupported = false
+
+// MmapPager is unavailable on this platform; NewMmapPager always fails.
+type MmapPager struct{}
+
+// NewMmapPager reports that memory-mapped page access is not supported on
+// this platform.
+func NewMmapPager(f *os.File, off int64, p Params) (*MmapPager, error) {
+	return nil, errors.New("pager: mmap not supported on this platform")
+}
+
+// Params panics; an MmapPager cannot be constructed on this platform.
+func (mp *MmapPager) Params() Params { panic("pager: mmap not supported") }
+
+// ReadPage panics; an MmapPager cannot be constructed on this platform.
+func (mp *MmapPager) ReadPage(i int) ([]byte, error) { panic("pager: mmap not supported") }
+
+// Close panics; an MmapPager cannot be constructed on this platform.
+func (mp *MmapPager) Close() error { panic("pager: mmap not supported") }

@@ -24,38 +24,69 @@ type Registry struct {
 
 // entry is one registered venue. The index is resolved at most once: Add
 // stores it directly, AddLazy defers to build, whose one-shot outcome
-// (tree or error) is cached under mu.
+// (tree or error) is cached under mu. A build in flight is marked by the
+// building latch and runs outside mu, so state() — and through it
+// Ready()/readyz — never waits behind a minutes-long index construction.
 type entry struct {
 	name  string
 	venue *indoor.Venue
 
-	mu    sync.Mutex
-	build func(context.Context) (*vip.Tree, error) // nil once resolved
-	tree  *vip.Tree
-	err   error
+	mu       sync.Mutex
+	build    func(context.Context) (*vip.Tree, error) // nil once resolved
+	building chan struct{}                            // non-nil while one build attempt is in flight; closed when it ends
+	tree     *vip.Tree
+	err      error
 }
 
 // index returns the entry's tree, running the deferred build on first use.
-// Concurrent first queries serialize on the build; its outcome — success
-// or failure — is cached and returned to every later caller. Cancellation
-// is the one exception: a build aborted by ctx (e.g. a drain mid-build) is
-// reported to this caller but not cached, so a later query retries instead
-// of inheriting a permanently failed venue.
+// Exactly one goroutine runs the build — outside e.mu, so probes that only
+// inspect state are never blocked behind it — while concurrent first
+// queries wait on the building latch (or their own ctx). The outcome —
+// success or failure — is cached and returned to every later caller.
+// Cancellation is the one exception: a build aborted by ctx (e.g. a drain
+// mid-build) is reported to that caller but not cached, so a later query
+// becomes a fresh builder instead of inheriting a permanently failed venue;
+// waiters on a cancelled build loop around and retry the same way.
 func (e *entry) index(ctx context.Context) (*vip.Tree, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.tree == nil && e.err == nil && e.build != nil {
-		tree, err := e.build(ctx)
-		if err != nil && (errors.Is(err, faults.ErrCancelled) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
-			return nil, err
+	for {
+		e.mu.Lock()
+		if e.tree != nil || e.err != nil || e.build == nil {
+			tree, err := e.tree, e.err
+			e.mu.Unlock()
+			return tree, err
 		}
-		e.tree, e.err = tree, err
-		e.build = nil
+		if e.building != nil {
+			done := e.building
+			e.mu.Unlock()
+			select {
+			case <-done:
+				continue // re-read the outcome; retry if the build was cancelled
+			case <-ctx.Done():
+				return nil, faults.Cancelled(ctx.Err())
+			}
+		}
+		done := make(chan struct{})
+		e.building = done
+		build := e.build
+		e.mu.Unlock()
+
+		tree, err := build(ctx)
+
+		cancelled := err != nil && (errors.Is(err, faults.ErrCancelled) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+		e.mu.Lock()
+		e.building = nil
+		if !cancelled {
+			e.tree, e.err = tree, err
+			e.build = nil
+		}
+		e.mu.Unlock()
+		close(done)
+		return tree, err
 	}
-	return e.tree, e.err
 }
 
-// state reports whether the entry's index is built, without building it.
+// state reports whether the entry's index is built, without building it and
+// without waiting on a build in flight (builds run outside e.mu).
 func (e *entry) state() (ready bool, err error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()

@@ -1,0 +1,144 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/indoorspatial/ifls/internal/testvenue"
+	"github.com/indoorspatial/ifls/internal/vip"
+)
+
+// TestReadyzNotBlockedByLazyBuild is the regression test for the readiness
+// head-of-line bug: entry.index used to hold the entry lock for the whole
+// lazy build, so a first query against a large venue froze state() and with
+// it /readyz for the build's full duration — minutes, against a probe
+// timeout of seconds. Builds now run outside the lock; /readyz must answer
+// well inside 100ms while a build is demonstrably in flight.
+func TestReadyzNotBlockedByLazyBuild(t *testing.T) {
+	v := testvenue.Corridor3()
+	reg := NewRegistry()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	if err := reg.AddLazy("slow", v, func(ctx context.Context) (*vip.Tree, error) {
+		close(started)
+		<-release
+		return vip.BuildContext(ctx, v, vip.DefaultOptions())
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s := New(reg, Options{})
+
+	queryDone := make(chan struct{})
+	go func() {
+		defer close(queryDone)
+		req := c3Request()
+		req.Venue = "slow"
+		post(t, s.Handler(), req)
+	}()
+	<-started // the build is now in flight and unfinished
+
+	begin := time.Now()
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	elapsed := time.Since(begin)
+	close(release)
+	<-queryDone
+
+	if w.Code != http.StatusOK {
+		t.Errorf("readyz mid-build = %d, want 200 (an unfinished lazy build is not a failure)", w.Code)
+	}
+	if elapsed > 100*time.Millisecond {
+		t.Errorf("readyz took %v mid-build, want < 100ms (blocked behind the lazy build)", elapsed)
+	}
+}
+
+// TestLazyBuildSingleFlight: concurrent first queries share one build — the
+// latch admits a single builder and parks the rest — and every caller gets
+// the same tree. Run under -race this also proves the lock-free build
+// publishes safely.
+func TestLazyBuildSingleFlight(t *testing.T) {
+	v := testvenue.Corridor3()
+	reg := NewRegistry()
+	builds := 0
+	if err := reg.AddLazy("c3", v, func(ctx context.Context) (*vip.Tree, error) {
+		builds++ // single-flight means no mutex needed here; -race verifies
+		time.Sleep(10 * time.Millisecond)
+		return vip.BuildContext(ctx, v, vip.DefaultOptions())
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e := reg.lookup("c3")
+
+	const callers = 16
+	trees := make([]*vip.Tree, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tree, err := e.index(context.Background())
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+				return
+			}
+			trees[i] = tree
+		}(i)
+	}
+	wg.Wait()
+	if builds != 1 {
+		t.Fatalf("build ran %d times under concurrent first queries, want 1", builds)
+	}
+	for i, tr := range trees {
+		if tr != trees[0] {
+			t.Fatalf("caller %d got a different tree", i)
+		}
+	}
+}
+
+// TestLazyBuildWaiterCancellation: a caller parked behind someone else's
+// build honours its own context instead of waiting out the build.
+func TestLazyBuildWaiterCancellation(t *testing.T) {
+	v := testvenue.Corridor3()
+	reg := NewRegistry()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	if err := reg.AddLazy("c3", v, func(ctx context.Context) (*vip.Tree, error) {
+		close(started)
+		<-release
+		return vip.BuildContext(ctx, v, vip.DefaultOptions())
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e := reg.lookup("c3")
+
+	builderDone := make(chan struct{})
+	go func() {
+		defer close(builderDone)
+		if _, err := e.index(context.Background()); err != nil {
+			t.Errorf("builder: %v", err)
+		}
+	}()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, err := e.index(ctx)
+		waiterErr <- err
+	}()
+	cancel()
+	select {
+	case err := <-waiterErr:
+		if err == nil {
+			t.Error("cancelled waiter got a nil error before the build finished")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled waiter stayed parked behind the build")
+	}
+	close(release)
+	<-builderDone
+}

@@ -405,6 +405,7 @@ func TestExpvarCatalog(t *testing.T) {
 		"clients", "pruned_clients", "distance_calcs", "queue_pops",
 		"prune_rate", "coalesce_hits", "coalesce_misses", "in_flight",
 		"queries_timed_out", "flights_reaped",
+		"page_cache_hits", "page_cache_misses", "page_cache_evictions", "pages_read",
 	} {
 		if _, ok := rendered[key]; !ok {
 			t.Errorf("expvar key %q missing from metrics export", key)

@@ -141,16 +141,43 @@ func (e *Explorer) onPath(n NodeID) bool {
 	return false
 }
 
+// srcRowIdx returns the rows of leaf nd's matrices indexed by the source
+// doors, for the paged row accessors. Resident trees return nil — the
+// accessors ignore idx there — keeping the hot path allocation-free.
+func (e *Explorer) srcRowIdx(nd *node) []int {
+	if e.t.pages == nil {
+		return nil
+	}
+	idx := make([]int, len(e.srcDoors))
+	for i, sd := range e.srcDoors {
+		idx[i] = nd.doorIdx[sd]
+	}
+	return idx
+}
+
+// accessRowIdx is srcRowIdx for nd's access doors.
+func (e *Explorer) accessRowIdx(nd *node) []int {
+	if e.t.pages == nil {
+		return nil
+	}
+	idx := make([]int, len(nd.access))
+	for i, ad := range nd.access {
+		idx[i] = nd.doorIdx[ad]
+	}
+	return idx
+}
+
 // pathADVec computes the access-door vector for a node on the source path.
 func (e *Explorer) pathADVec(n NodeID) [][]float64 {
 	t := e.t
 	leaf := t.nodes[e.srcLeaf]
 	if n == e.srcLeaf {
+		full := t.fullMatRows(leaf, e.srcRowIdx(leaf))
 		v := alloc(len(e.srcDoors), len(leaf.access))
 		for i, sd := range e.srcDoors {
 			ri := leaf.doorIdx[sd]
 			for j, ad := range leaf.access {
-				v[i][j] = leaf.full[ri][leaf.doorIdx[ad]]
+				v[i][j] = full[ri][leaf.doorIdx[ad]]
 			}
 		}
 		return v
@@ -159,7 +186,7 @@ func (e *Explorer) pathADVec(n NodeID) [][]float64 {
 		// One lookup in the leaf's ancestor matrix.
 		for k, a := range leaf.ancIDs {
 			if a == n {
-				m := leaf.anc[k]
+				m := t.ancestorMatRows(leaf, k, e.srcRowIdx(leaf))
 				v := alloc(len(e.srcDoors), len(t.nodes[n].access))
 				for i, sd := range e.srcDoors {
 					copy(v[i], m[leaf.doorIdx[sd]])
@@ -189,11 +216,12 @@ func (e *Explorer) propagate(base [][]float64, baseDoors []indoor.DoorID, via *n
 	for k, d := range target {
 		ti[k] = via.uIdx[d]
 	}
+	u := e.t.unionMatRows(via, bi)
 	for i := 0; i < rows; i++ {
 		for j := range target {
 			best := math.Inf(1)
 			for k := range baseDoors {
-				if t := base[i][k] + via.uMat[bi[k]][ti[j]]; t < best {
+				if t := base[i][k] + u[bi[k]][ti[j]]; t < best {
 					best = t
 				}
 			}
@@ -216,18 +244,20 @@ func (e *Explorer) DoorVec(n NodeID) [][]float64 {
 	}
 	var v [][]float64
 	if n == e.srcLeaf {
+		full := t.fullMatRows(nd, e.srcRowIdx(nd))
 		v = alloc(len(e.srcDoors), len(nd.doors))
 		for i, sd := range e.srcDoors {
-			copy(v[i], nd.full[nd.doorIdx[sd]])
+			copy(v[i], full[nd.doorIdx[sd]])
 		}
 	} else {
 		base := e.ADVec(n)
+		full := t.fullMatRows(nd, e.accessRowIdx(nd))
 		v = alloc(len(e.srcDoors), len(nd.doors))
 		for i := range e.srcDoors {
 			for j := range nd.doors {
 				best := math.Inf(1)
 				for k, ad := range nd.access {
-					if t := base[i][k] + nd.full[nd.doorIdx[ad]][j]; t < best {
+					if t := base[i][k] + full[nd.doorIdx[ad]][j]; t < best {
 						best = t
 					}
 				}

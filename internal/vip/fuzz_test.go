@@ -44,6 +44,32 @@ func FuzzLoadTree(f *testing.F) {
 	bad = append([]byte(nil), valid...)
 	bad[30] ^= 0x10
 	f.Add(bad)
+	// The allocation-cap boundary: a header declaring exactly maxIndexPayload
+	// must stay on the reject side of the (exclusive) bound.
+	bad = append([]byte(nil), valid[:24]...)
+	binary.LittleEndian.PutUint64(bad[12:], maxIndexPayload)
+	f.Add(bad)
+
+	// Paged (v3) seeds: the valid paged file plus page-heap corruptions —
+	// these route Load through the materializing fallback, where every page
+	// CRC and cell is checked.
+	var pbuf bytes.Buffer
+	if err := tree.SavePaged(&pbuf, PagedSaveOptions{PageSize: 64}); err != nil {
+		f.Fatal(err)
+	}
+	pvalid := pbuf.Bytes()
+	f.Add(pvalid)
+	secOff := 24 + int(binary.LittleEndian.Uint64(pvalid[12:]))
+	bad = append([]byte(nil), pvalid...)
+	bad[secOff+5] ^= 0x01 // bit flip inside the first page's payload
+	f.Add(bad)
+	f.Add(pvalid[:secOff+30]) // page section truncated mid-page
+	bad = append([]byte(nil), pvalid...)
+	bad[secOff+64] ^= 0xff // first CRC trailer byte of page 0
+	f.Add(bad)
+	bad = append([]byte(nil), pvalid...)
+	bad[30] ^= 0x10 // structure payload flip under the v3 envelope
+	f.Add(bad)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		loaded, err := Load(bytes.NewReader(data), v)

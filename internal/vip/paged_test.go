@@ -1,0 +1,315 @@
+package vip
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/indoorspatial/ifls/internal/faults"
+	"github.com/indoorspatial/ifls/internal/indoor"
+	"github.com/indoorspatial/ifls/internal/pager"
+	"github.com/indoorspatial/ifls/internal/testvenue"
+)
+
+// savePagedBytes serializes tree in the v3 format with the given page size.
+func savePagedBytes(t testing.TB, tree *Tree, pageSize int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tree.SavePaged(&buf, PagedSaveOptions{PageSize: pageSize}); err != nil {
+		t.Fatalf("SavePaged: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// requireBitIdentical sweeps every partition pair plus a point query and
+// fails unless got answers bit-for-bit what want answers.
+func requireBitIdentical(t *testing.T, got, want *Tree) {
+	t.Helper()
+	v := want.Venue()
+	n := v.NumPartitions()
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			g := got.DistPartitionToPartition(indoor.PartitionID(a), indoor.PartitionID(b))
+			w := want.DistPartitionToPartition(indoor.PartitionID(a), indoor.PartitionID(b))
+			if math.Float64bits(g) != math.Float64bits(w) {
+				t.Fatalf("distance %d->%d: paged %v, resident %v (not byte-identical)", a, b, g, w)
+			}
+		}
+	}
+	p := v.RandomPointIn(0, 0.4, 0.6)
+	q := v.RandomPointIn(indoor.PartitionID(n-1), 0.5, 0.5)
+	g := got.DistPointToPoint(p, 0, q, indoor.PartitionID(n-1))
+	w := want.DistPointToPoint(p, 0, q, indoor.PartitionID(n-1))
+	if math.Float64bits(g) != math.Float64bits(w) {
+		t.Fatalf("point distance: paged %v, resident %v", g, w)
+	}
+}
+
+// TestPagedRoundTripIdentical: Build -> SavePaged -> OpenPaged answers every
+// query bit-identically to the built tree, for vivid and plain trees,
+// including under a cache budget far below the matrix heap (which must show
+// nonzero evictions, proving the pressure was real).
+func TestPagedRoundTripIdentical(t *testing.T) {
+	cases := []struct {
+		name  string
+		venue *indoor.Venue
+		opts  Options
+	}{
+		{"vivid-grid", testvenue.Grid(testvenue.GridParams{Cols: 6, Levels: 2, InterRoomDoors: true}), Options{LeafFanout: 3, NodeFanout: 2, Vivid: true}},
+		{"ip-corridor", testvenue.Corridor3(), Options{LeafFanout: 2, NodeFanout: 2, Vivid: false}},
+		{"vivid-tworooms", testvenue.TwoRooms(), Options{LeafFanout: 1, NodeFanout: 2, Vivid: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			orig := MustBuild(tc.venue, tc.opts)
+			data := savePagedBytes(t, orig, 64)
+
+			t.Run("roomy-cache", func(t *testing.T) {
+				loaded, err := OpenPaged(bytes.NewReader(data), int64(len(data)), tc.venue, PagedOptions{CacheBytes: -1})
+				if err != nil {
+					t.Fatalf("OpenPaged: %v", err)
+				}
+				defer loaded.Close()
+				if !loaded.Paged() || orig.Paged() {
+					t.Fatal("Paged() misreports")
+				}
+				if err := loaded.CheckInvariants(); err != nil {
+					t.Fatal(err)
+				}
+				if got, want := loaded.MemoryFootprint(), orig.MemoryFootprint(); got != want {
+					t.Fatalf("MemoryFootprint: paged %d, resident %d", got, want)
+				}
+				requireBitIdentical(t, loaded, orig)
+				if st := loaded.PageCacheStats(); st.Misses == 0 || st.PagesRead == 0 {
+					t.Fatalf("no page traffic recorded: %+v", st)
+				}
+			})
+
+			t.Run("starved-cache", func(t *testing.T) {
+				// Budget of two pages: far below any venue's matrix heap.
+				loaded, err := OpenPaged(bytes.NewReader(data), int64(len(data)), tc.venue, PagedOptions{CacheBytes: 128})
+				if err != nil {
+					t.Fatalf("OpenPaged: %v", err)
+				}
+				defer loaded.Close()
+				requireBitIdentical(t, loaded, orig)
+				st := loaded.PageCacheStats()
+				if st.CachedBytes > 128 {
+					t.Fatalf("cache over budget: %+v", st)
+				}
+				if st.Evictions == 0 && orig.MemoryFootprint()*8 > 128 {
+					t.Fatalf("starved cache never evicted: %+v", st)
+				}
+			})
+		})
+	}
+}
+
+// TestPagedSaveDeterministic: SavePaged emits identical bytes on every call,
+// and a paged tree re-exports through both Save and SavePaged to exactly the
+// bytes the resident original produces.
+func TestPagedSaveDeterministic(t *testing.T) {
+	v := testvenue.Grid(testvenue.GridParams{Cols: 5, Levels: 1, InterRoomDoors: true})
+	orig := MustBuild(v, Options{LeafFanout: 2, NodeFanout: 2, Vivid: true})
+	d1 := savePagedBytes(t, orig, 256)
+	d2 := savePagedBytes(t, orig, 256)
+	if !bytes.Equal(d1, d2) {
+		t.Fatal("SavePaged is not deterministic")
+	}
+
+	loaded, err := OpenPaged(bytes.NewReader(d1), int64(len(d1)), v, PagedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	if d3 := savePagedBytes(t, loaded, 256); !bytes.Equal(d1, d3) {
+		t.Fatal("SavePaged of a paged tree diverges from the original")
+	}
+	var v2orig, v2paged bytes.Buffer
+	if err := orig.Save(&v2orig); err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Save(&v2paged); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v2orig.Bytes(), v2paged.Bytes()) {
+		t.Fatal("v2 re-export of a paged tree diverges from the original")
+	}
+}
+
+// TestLoadReadsPagedStream: Load transparently accepts a v3 stream and
+// returns a fully resident, fully validated tree.
+func TestLoadReadsPagedStream(t *testing.T) {
+	v := testvenue.Grid(testvenue.GridParams{Cols: 4, Levels: 2, InterRoomDoors: true})
+	orig := MustBuild(v, Options{LeafFanout: 3, NodeFanout: 2, Vivid: true})
+	data := savePagedBytes(t, orig, 512)
+	loaded, err := Load(bytes.NewReader(data), v)
+	if err != nil {
+		t.Fatalf("Load(v3 stream): %v", err)
+	}
+	if loaded.Paged() {
+		t.Fatal("Load returned a paged tree; the fallback must materialize")
+	}
+	if err := loaded.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	requireBitIdentical(t, loaded, orig)
+}
+
+// TestOpenPagedRejects: envelope and structure damage is caught at open
+// time with typed errors — the lazy page heap never weakens the eager
+// checks on what is read eagerly.
+func TestOpenPagedRejects(t *testing.T) {
+	v := testvenue.Grid(testvenue.GridParams{Cols: 5, Levels: 1, InterRoomDoors: true})
+	orig := MustBuild(v, Options{LeafFanout: 2, NodeFanout: 2, Vivid: true})
+	data := savePagedBytes(t, orig, 64)
+
+	open := func(d []byte, venue *indoor.Venue) error {
+		tr, err := OpenPaged(bytes.NewReader(d), int64(len(d)), venue, PagedOptions{})
+		if tr != nil && err != nil {
+			t.Fatal("OpenPaged returned a tree alongside an error")
+		}
+		if tr != nil {
+			tr.Close()
+		}
+		return err
+	}
+
+	if err := open(data, testvenue.TwoRooms()); !errors.Is(err, faults.ErrInvalidOptions) {
+		t.Errorf("wrong venue: err = %v, want ErrInvalidOptions", err)
+	}
+	corruptCases := map[string]func([]byte) []byte{
+		"bad magic":       func(d []byte) []byte { d[0] = 'X'; return d },
+		"v2 version":      func(d []byte) []byte { binary.LittleEndian.PutUint32(d[8:], 2); return d },
+		"structure flip":  func(d []byte) []byte { d[30] ^= 0x08; return d },
+		"truncated tail":  func(d []byte) []byte { return d[:len(d)-10] },
+		"truncated head":  func(d []byte) []byte { return d[:20] },
+		"trailing bytes":  func(d []byte) []byte { return append(d, 0, 0, 0) },
+		"absurd struct":   func(d []byte) []byte { binary.LittleEndian.PutUint64(d[12:], 1<<40); return d },
+		"zero struct len": func(d []byte) []byte { binary.LittleEndian.PutUint64(d[12:], 0); return d },
+	}
+	for name, mutate := range corruptCases {
+		if err := open(mutate(append([]byte(nil), data...)), v); !errors.Is(err, faults.ErrCorruptIndex) {
+			t.Errorf("%s: err = %v, want ErrCorruptIndex", name, err)
+		}
+	}
+}
+
+// queryRecover runs one partition-pair query and converts a query-time
+// corruption panic back into its error.
+func queryRecover(tree *Tree, a, b indoor.PartitionID) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			if e, ok := p.(error); ok {
+				err = e
+				return
+			}
+			panic(p)
+		}
+	}()
+	tree.DistPartitionToPartition(a, b)
+	return nil
+}
+
+// TestPagedCorruptPageFailsAtQueryTime: damage confined to the page heap
+// does not stop OpenPaged (the structure is intact and verified), but the
+// first query that faults a damaged page panics with an
+// ErrCorruptIndex-classified error — the contract the serving layer's
+// recover shield relies on — and VerifyPages reports it offline.
+func TestPagedCorruptPageFailsAtQueryTime(t *testing.T) {
+	const pageSize = 64
+	v := testvenue.Grid(testvenue.GridParams{Cols: 5, Levels: 1, InterRoomDoors: true})
+	orig := MustBuild(v, Options{LeafFanout: 2, NodeFanout: 2, Vivid: true})
+	data := savePagedBytes(t, orig, pageSize)
+
+	secOff := 24 + int(binary.LittleEndian.Uint64(data[12:]))
+	stride := pageSize + pager.PageCRCSize
+	bad := append([]byte(nil), data...)
+	// Flip one payload byte in every page so any matrix fault trips.
+	for off := secOff; off+stride <= len(bad); off += stride {
+		bad[off] ^= 0x01
+	}
+
+	loaded, err := OpenPaged(bytes.NewReader(bad), int64(len(bad)), v, PagedOptions{})
+	if err != nil {
+		t.Fatalf("OpenPaged refused page-level damage at open time: %v", err)
+	}
+	defer loaded.Close()
+
+	if err := loaded.VerifyPages(); !errors.Is(err, faults.ErrCorruptIndex) {
+		t.Errorf("VerifyPages: err = %v, want ErrCorruptIndex", err)
+	}
+	qerr := queryRecover(loaded, 0, indoor.PartitionID(v.NumPartitions()-1))
+	if !errors.Is(qerr, faults.ErrCorruptIndex) {
+		t.Errorf("query on corrupt pages: err = %v, want ErrCorruptIndex panic", qerr)
+	}
+
+	// The same stream fed to Load (eager materialization) must be refused
+	// outright.
+	if _, lerr := Load(bytes.NewReader(bad), v); !errors.Is(lerr, faults.ErrCorruptIndex) {
+		t.Errorf("Load of corrupt-page stream: err = %v, want ErrCorruptIndex", lerr)
+	}
+}
+
+// TestOpenPagedFile exercises the file-backed open path — pread and, where
+// supported, mmap — plus Close.
+func TestOpenPagedFile(t *testing.T) {
+	v := testvenue.Grid(testvenue.GridParams{Cols: 6, Levels: 2, InterRoomDoors: true})
+	orig := MustBuild(v, Options{LeafFanout: 3, NodeFanout: 2, Vivid: true})
+	path := filepath.Join(t.TempDir(), "venue.idx")
+	if err := os.WriteFile(path, savePagedBytes(t, orig, 4096), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, mmap := range []bool{false, true} {
+		name := "pread"
+		if mmap {
+			if !pager.MmapSupported {
+				continue
+			}
+			name = "mmap"
+		}
+		t.Run(name, func(t *testing.T) {
+			loaded, err := OpenPagedFile(path, v, PagedOptions{Mmap: mmap})
+			if err != nil {
+				t.Fatalf("OpenPagedFile: %v", err)
+			}
+			requireBitIdentical(t, loaded, orig)
+			if err := loaded.VerifyPages(); err != nil {
+				t.Fatalf("VerifyPages: %v", err)
+			}
+			if err := loaded.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+		})
+	}
+}
+
+// TestSavePagedRejectsBadPageSize: page sizes the format cannot support are
+// an options error, not a corrupt file waiting to happen.
+func TestSavePagedRejectsBadPageSize(t *testing.T) {
+	tree := MustBuild(testvenue.TwoRooms(), DefaultOptions())
+	for _, ps := range []int{-8, 7, 12, maxPageSize + 8} {
+		var buf bytes.Buffer
+		if err := tree.SavePaged(&buf, PagedSaveOptions{PageSize: ps}); !errors.Is(err, faults.ErrInvalidOptions) {
+			t.Errorf("PageSize %d: err = %v, want ErrInvalidOptions", ps, err)
+		}
+	}
+}
+
+// TestLoadPayloadLengthBoundary: a v2 header declaring exactly the
+// allocation cap (1<<31) must be rejected as corrupt before any allocation
+// is attempted — the bound is exclusive.
+func TestLoadPayloadLengthBoundary(t *testing.T) {
+	header := make([]byte, 24)
+	copy(header, indexMagic[:])
+	binary.LittleEndian.PutUint32(header[8:], indexFormatVersion)
+	binary.LittleEndian.PutUint64(header[12:], 1<<31)
+	_, err := Load(bytes.NewReader(header), testvenue.TwoRooms())
+	if !errors.Is(err, faults.ErrCorruptIndex) {
+		t.Fatalf("boundary payload length: err = %v, want ErrCorruptIndex", err)
+	}
+}

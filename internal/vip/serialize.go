@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -82,7 +83,10 @@ var indexMagic = [8]byte{'I', 'F', 'L', 'S', 'V', 'I', 'P', 0}
 
 // maxIndexPayload caps the declared payload size Load will allocate for.
 // The largest real venue indexes are hundreds of megabytes; a header
-// declaring more than this is corrupt (or adversarial), not large.
+// declaring this much or more is corrupt (or adversarial), not large. The
+// bound is exclusive and additionally clamped to the platform int range in
+// Load, so a hostile header can never make the allocation size overflow on
+// 32-bit builds.
 const maxIndexPayload = 1 << 31
 
 // castagnoli is the CRC-32C table used for payload checksums (the same
@@ -98,7 +102,20 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // same bytes regardless of Options.Workers (the worker count is a
 // build-time knob, not a property of the index, and is cleared before
 // encoding) — tests rely on this to prove parallel construction exact.
-func (t *Tree) Save(w io.Writer) error {
+//
+// Save also re-exports paged trees (OpenPaged) to the monolithic v2
+// format, faulting each matrix in one at a time; a page failing
+// verification surfaces as an ErrCorruptIndex-classified error.
+func (t *Tree) Save(w io.Writer) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			if e, ok := p.(error); ok && errors.Is(e, faults.ErrCorruptIndex) {
+				err = e
+				return
+			}
+			panic(p)
+		}
+	}()
 	opts := t.opts
 	opts.Workers = 0
 	out := treeGob{
@@ -112,12 +129,24 @@ func (t *Tree) Save(w io.Writer) error {
 		Depth:      t.depth,
 	}
 	for _, nd := range t.nodes {
+		full, uMat, anc := nd.full, nd.uMat, nd.anc
+		if t.pages != nil {
+			if nd.leaf {
+				full = t.fullMat(nd)
+				anc = make([][][]float64, len(nd.ancIDs))
+				for k := range nd.ancIDs {
+					anc[k] = t.ancestorMat(nd, k)
+				}
+			} else {
+				uMat = t.unionMat(nd)
+			}
+		}
 		out.Nodes = append(out.Nodes, nodeGob{
 			ID: nd.id, Parent: nd.parent, Children: nd.children,
 			Parts: nd.parts, Leaf: nd.leaf,
-			Doors: nd.doors, Access: nd.access, Full: nd.full,
-			UDoors: nd.uDoors, UMat: nd.uMat,
-			AncIDs: nd.ancIDs, Anc: nd.anc,
+			Doors: nd.doors, Access: nd.access, Full: full,
+			UDoors: nd.uDoors, UMat: uMat,
+			AncIDs: nd.ancIDs, Anc: anc,
 		})
 	}
 	var payload bytes.Buffer
@@ -154,6 +183,13 @@ func corrupt(format string, a ...any) error {
 // exception to eager initialization is the door-to-door graph, which Load
 // drops (it is not serialized); Tree.Graph rebuilds it on first use behind
 // a sync.Once, keeping that path concurrency-safe too.
+//
+// Load reads both supported formats: the monolithic v2 envelope and the
+// paged v3 format (see paged.go). A v3 stream is slurped into memory and
+// every matrix materialized eagerly, so the returned tree is fully
+// resident either way — callers that want lazy paging must use
+// OpenPaged/OpenPagedFile instead. The in-memory fallback caps the stream
+// at maxIndexPayload bytes; larger v3 files must be opened paged.
 func Load(r io.Reader, v *indoor.Venue) (*Tree, error) {
 	header := make([]byte, 24)
 	if _, err := io.ReadFull(r, header); err != nil {
@@ -162,11 +198,16 @@ func Load(r io.Reader, v *indoor.Venue) (*Tree, error) {
 	if !bytes.Equal(header[:8], indexMagic[:]) {
 		return nil, corrupt("bad magic %q (not an IFLS index file)", header[:8])
 	}
-	if ver := binary.LittleEndian.Uint32(header[8:]); ver != indexFormatVersion {
-		return nil, corrupt("unsupported index format version %d (this build reads %d)", ver, indexFormatVersion)
+	switch ver := binary.LittleEndian.Uint32(header[8:]); ver {
+	case indexFormatVersion:
+	case pagedFormatVersion:
+		return loadPagedStream(header, r, v)
+	default:
+		return nil, corrupt("unsupported index format version %d (this build reads %d and %d)",
+			ver, indexFormatVersion, pagedFormatVersion)
 	}
 	size := binary.LittleEndian.Uint64(header[12:])
-	if size == 0 || size > maxIndexPayload {
+	if size == 0 || size >= maxIndexPayload || size > uint64(math.MaxInt) {
 		return nil, corrupt("implausible payload length %d", size)
 	}
 	payload := make([]byte, size)
@@ -239,6 +280,19 @@ func Load(r io.Reader, v *indoor.Venue) (*Tree, error) {
 // slices by decoded IDs and would panic on out-of-range values instead of
 // returning an error.
 func validateTreeGob(in *treeGob, v *indoor.Venue) error {
+	if err := validateTreeStructure(in, v); err != nil {
+		return err
+	}
+	return validateTreeMatrices(in, v)
+}
+
+// validateTreeStructure checks everything except the matrices: reference
+// ranges, ID/array consistency, and the ancestor-list shape. It is shared
+// by the v2 path (followed by validateTreeMatrices) and the v3 paged path
+// (where no matrices exist at load time — the page layout is derived
+// entirely from this structure, so the ancestor checks here are what make
+// the derived cell offsets trustworthy).
+func validateTreeStructure(in *treeGob, v *indoor.Venue) error {
 	nNodes := len(in.Nodes)
 	if nNodes == 0 {
 		return corrupt("tree has no nodes")
@@ -266,22 +320,6 @@ func validateTreeGob(in *treeGob, v *indoor.Venue) error {
 	doorRef := func(what string, i int, id indoor.DoorID) error {
 		if id < 0 || int(id) >= v.NumDoors() {
 			return corrupt("node %d: %s door %d out of range [0,%d)", i, what, id, v.NumDoors())
-		}
-		return nil
-	}
-	matrix := func(what string, i int, m [][]float64, rows, cols int) error {
-		if len(m) != rows {
-			return corrupt("node %d: %s matrix has %d rows, want %d", i, what, len(m), rows)
-		}
-		for r, row := range m {
-			if len(row) != cols {
-				return corrupt("node %d: %s matrix row %d has %d columns, want %d", i, what, r, len(row), cols)
-			}
-			for c, d := range row {
-				if math.IsNaN(d) || d < 0 {
-					return corrupt("node %d: %s[%d][%d] = %v (distances are non-negative, non-NaN)", i, what, r, c, d)
-				}
-			}
 		}
 		return nil
 	}
@@ -319,6 +357,64 @@ func validateTreeGob(in *treeGob, v *indoor.Venue) error {
 				return err
 			}
 		}
+		for _, a := range ng.AncIDs {
+			if err := nodeRef("ancestor", i, a); err != nil {
+				return err
+			}
+		}
+		// Only vivid leaves carry ancestor lists, and a vivid leaf's list
+		// must be exactly its strict-ancestor chain, parent first — that is
+		// what Build writes, what pathADVec assumes, and what the paged
+		// layout derives matrix geometry from. The walk is bounded by
+		// nNodes so a parent cycle (not yet excluded — CheckInvariants runs
+		// later) fails cleanly instead of spinning.
+		if !ng.Leaf || !in.Opts.Vivid {
+			if len(ng.AncIDs) != 0 {
+				return corrupt("node %d: unexpected ancestor list (%d entries)", i, len(ng.AncIDs))
+			}
+		} else {
+			a, steps := ng.Parent, 0
+			for k := 0; ; k++ {
+				if a == NoNode {
+					if k != len(ng.AncIDs) {
+						return corrupt("node %d: %d ancestor ids for a chain of %d", i, len(ng.AncIDs), k)
+					}
+					break
+				}
+				if k >= len(ng.AncIDs) || ng.AncIDs[k] != a {
+					return corrupt("node %d: ancestor id list diverges from the parent chain at %d", i, k)
+				}
+				if steps++; steps > nNodes {
+					return corrupt("node %d: parent chain cycles", i)
+				}
+				a = in.Nodes[a].Parent
+			}
+		}
+	}
+	return nil
+}
+
+// validateTreeMatrices checks the matrices of a monolithic (v2) payload:
+// dimensions implied by the door lists, and cell values. Paged payloads
+// perform the value checks lazily, cell by cell, as pages fault in.
+func validateTreeMatrices(in *treeGob, v *indoor.Venue) error {
+	matrix := func(what string, i int, m [][]float64, rows, cols int) error {
+		if len(m) != rows {
+			return corrupt("node %d: %s matrix has %d rows, want %d", i, what, len(m), rows)
+		}
+		for r, row := range m {
+			if len(row) != cols {
+				return corrupt("node %d: %s matrix row %d has %d columns, want %d", i, what, r, len(row), cols)
+			}
+			for c, d := range row {
+				if math.IsNaN(d) || d < 0 {
+					return corrupt("node %d: %s[%d][%d] = %v (distances are non-negative, non-NaN)", i, what, r, c, d)
+				}
+			}
+		}
+		return nil
+	}
+	for i, ng := range in.Nodes {
 		// Every leaf carries its door×door matrix; every internal node its
 		// union-door matrix (fillMatrices allocates both unconditionally).
 		if ng.Leaf {
@@ -333,13 +429,10 @@ func validateTreeGob(in *treeGob, v *indoor.Venue) error {
 		if len(ng.Anc) != len(ng.AncIDs) {
 			return corrupt("node %d: %d ancestor matrices for %d ancestor ids", i, len(ng.Anc), len(ng.AncIDs))
 		}
-		for k, a := range ng.AncIDs {
-			if err := nodeRef("ancestor", i, a); err != nil {
-				return err
-			}
+		for k := range ng.AncIDs {
 			// Ancestor matrix: rows are the leaf's doors, columns the
 			// ancestor's access doors.
-			if err := matrix("ancestor", i, ng.Anc[k], len(ng.Doors), len(in.Nodes[a].Access)); err != nil {
+			if err := matrix("ancestor", i, ng.Anc[k], len(ng.Doors), len(in.Nodes[ng.AncIDs[k]].Access)); err != nil {
 				return err
 			}
 		}

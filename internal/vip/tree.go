@@ -92,6 +92,13 @@ type node struct {
 	// the ancestor's access doors.
 	ancIDs []NodeID
 	anc    [][][]float64
+
+	// In a paged tree (OpenPaged) the matrix slices above stay nil and
+	// these descriptors locate each matrix in the page heap instead;
+	// Tree.fullMat/unionMat/ancestorMat dispatch on Tree.pages.
+	fullD matDesc
+	uD    matDesc
+	ancD  []matDesc
 }
 
 // Tree is an immutable IP-/VIP-tree over a venue.
@@ -110,6 +117,12 @@ type Tree struct {
 	opts      Options
 	nodes     []*node
 	root      NodeID
+	// pages is non-nil for trees opened from a version-3 paged index
+	// file: distance-matrix cells live in fixed-size on-disk pages and
+	// fault in through an LRU cache on first use (see paged.go). Resident
+	// trees (Build, v2 Load) leave it nil and keep matrices in the node
+	// slices.
+	pages *pageStore
 	// leafOf maps each partition to its leaf node.
 	leafOf []NodeID
 	// depth of each node; root is 0.
@@ -663,24 +676,13 @@ func alloc(rows, cols int) [][]float64 {
 	return m
 }
 
-// MemoryFootprint returns the approximate number of float64 distance cells
-// stored across all matrices — the index-size metric reported in
-// experiments. Safe for concurrent use.
+// MemoryFootprint returns the number of float64 distance cells stored
+// across all matrices — the index-size metric reported in experiments. The
+// count is derived from the door-list dimensions (the same walk the paged
+// layout uses), so it is the matrix size whether the cells are resident or
+// live in an on-disk page heap. Safe for concurrent use.
 func (t *Tree) MemoryFootprint() int {
-	cells := 0
-	for _, nd := range t.nodes {
-		if nd.leaf {
-			cells += len(nd.doors) * len(nd.doors)
-			for i := range nd.anc {
-				if len(nd.anc[i]) > 0 {
-					cells += len(nd.anc[i]) * len(nd.anc[i][0])
-				}
-			}
-		} else {
-			cells += len(nd.uDoors) * len(nd.uDoors)
-		}
-	}
-	return cells
+	return int(t.layoutMatrices(false))
 }
 
 // CheckInvariants verifies structural invariants; tests use it. Safe for

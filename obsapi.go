@@ -8,7 +8,14 @@ import (
 
 	"github.com/indoorspatial/ifls/internal/core"
 	"github.com/indoorspatial/ifls/internal/obs"
+	"github.com/indoorspatial/ifls/internal/pager"
 )
+
+// The page cache takes its counter sink as a small structural interface;
+// *Metrics is the production implementation (see PagedIndexOptions.Metrics).
+// Pin the contract here so a drifting method set fails the build, not a
+// restart.
+var _ pager.Metrics = (*obs.Metrics)(nil)
 
 // Metrics aggregates process-level query observability: query, error, and
 // cancellation counts, a fixed-bound latency histogram, per-stage span

@@ -1,0 +1,98 @@
+package ifls_test
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	ifls "github.com/indoorspatial/ifls"
+)
+
+// TestPublicPagedIndexFile exercises the paged on-disk index through the
+// public API: SavePaged to a file, OpenIndexFile under a starved page cache,
+// identical answers to the resident index, nonzero cache activity in the
+// attached Metrics, clean Close. A monolithic (v2) file opened through the
+// same entry point must behave identically, just fully materialized.
+func TestPublicPagedIndexFile(t *testing.T) {
+	v, rooms := buildOffice(t)
+	ix, err := ifls.NewIndex(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The client sits in a non-candidate room so the solver must compute
+	// real distances — a client inside a candidate short-circuits to zero
+	// without ever touching a matrix page.
+	q := &ifls.Query{
+		Existing:   []ifls.PartitionID{rooms[0]},
+		Candidates: []ifls.PartitionID{rooms[2], rooms[3]},
+		Clients:    []ifls.Client{{ID: 0, Loc: ifls.Pt(15, 9, 0), Part: rooms[1]}},
+	}
+	want := ix.Solve(q)
+
+	dir := t.TempDir()
+	pagedPath := filepath.Join(dir, "office.vip")
+	f, err := os.Create(pagedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.SavePaged(f, ifls.PagedSaveOptions{PageSize: 64}); err != nil {
+		t.Fatalf("SavePaged: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m := ifls.NewMetrics()
+	paged, err := ifls.OpenIndexFile(pagedPath, v, ifls.PagedIndexOptions{CacheBytes: 128, Metrics: m})
+	if err != nil {
+		t.Fatalf("OpenIndexFile (paged): %v", err)
+	}
+	got := paged.Solve(q)
+	if got.Found != want.Found || got.Answer != want.Answer || math.Abs(got.Objective-want.Objective) > 0 {
+		t.Fatalf("paged index disagrees: %+v vs %+v", got, want)
+	}
+	if snap := m.Snapshot(); snap.PageCacheMisses == 0 || snap.PagesRead == 0 {
+		t.Errorf("no page-cache activity recorded: %+v", snap)
+	}
+	if err := paged.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// LoadIndex accepts the same paged stream, fully materialized.
+	data, err := os.ReadFile(pagedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := ifls.LoadIndex(bytes.NewReader(data), v)
+	if err != nil {
+		t.Fatalf("LoadIndex (paged stream): %v", err)
+	}
+	if got := mat.Solve(q); got.Answer != want.Answer {
+		t.Fatalf("materialized paged index disagrees: %+v vs %+v", got, want)
+	}
+
+	// OpenIndexFile on a monolithic (v2) file: same answers, Close a no-op.
+	monoPath := filepath.Join(dir, "office-v2.vip")
+	mf, err := os.Create(monoPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Save(mf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if err := mf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mono, err := ifls.OpenIndexFile(monoPath, v, ifls.PagedIndexOptions{})
+	if err != nil {
+		t.Fatalf("OpenIndexFile (monolithic): %v", err)
+	}
+	if got := mono.Solve(q); got.Answer != want.Answer {
+		t.Fatalf("monolithic index disagrees: %+v vs %+v", got, want)
+	}
+	if err := mono.Close(); err != nil {
+		t.Fatalf("Close on resident index: %v", err)
+	}
+}
