@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/indoorspatial/ifls/internal/workload"
+)
+
+// updateGolden rewrites the checked-in counter snapshot from the current
+// run instead of comparing against it. Use it after a deliberate algorithm
+// change, then review the diff like any other code change:
+//
+//	go test ./internal/bench -run TestQueuePopsDelta -update-golden
+var updateGolden = flag.Bool("update-golden", false,
+	"rewrite testdata/queue_pops.golden from this run's counters")
+
+// queuePopsGolden is the checked-in snapshot the delta test compares
+// against: one line per sweep cell, tab-separated key and pop count.
+const queuePopsGolden = "testdata/queue_pops.golden"
+
+// deltaTolerance is the allowed relative growth in queue pops before the
+// test fails: 10%. Pop counts are deterministic for a fixed seed, so any
+// drift is a real behavior change; the slack only absorbs deliberate small
+// reorderings (and cross-architecture float differences) without letting an
+// asymptotic regression through.
+const deltaTolerance = 0.10
+
+// deltaPoint is one measured cell of the delta sweep.
+type deltaPoint struct {
+	key  string
+	pops int
+}
+
+// deltaSweep runs the Figure-5-shaped sweep the snapshot pins: the MC real
+// setting at the default category, the Table 2 client sweep scaled down to
+// smoke size, efficient solver only. Everything is seeded, so the queue-pop
+// counters are exact reproducible quantities, not timings.
+func deltaSweep(t *testing.T) []deltaPoint {
+	t.Helper()
+	cfg := DefaultConfig().Scaled(100)
+	r := NewRunner()
+	r.Queries = 2
+	var out []deltaPoint
+	for _, nc := range cfg.ClientSweep {
+		cell := Cell{
+			Venue: "MC", Category: cfg.RealDefaultCategory, Dist: workload.Uniform,
+			NClients: nc, Seed: cfg.Seed,
+		}
+		m, err := r.Run(cell, Efficient)
+		if err != nil {
+			t.Fatalf("cell %s: %v", cell, err)
+		}
+		out = append(out, deltaPoint{
+			key:  fmt.Sprintf("%s queries=%d", cell, r.Queries),
+			pops: m.Stats.QueuePops,
+		})
+	}
+	return out
+}
+
+// readGolden parses the snapshot file into key → pops.
+func readGolden(t *testing.T, path string) map[string]int {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("no counters snapshot at %s (run with -update-golden to create it): %v", path, err)
+	}
+	got := map[string]int{}
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		key, val, ok := strings.Cut(line, "\t")
+		if !ok {
+			t.Fatalf("%s:%d: malformed line %q (want key<TAB>pops)", path, ln+1, line)
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			t.Fatalf("%s:%d: bad pop count %q: %v", path, ln+1, val, err)
+		}
+		got[key] = n
+	}
+	return got
+}
+
+// writeGolden rewrites the snapshot file in sweep order.
+func writeGolden(t *testing.T, path string, points []deltaPoint) {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("# Queue-pop counters for the efficient solver on the Figure-5-style\n")
+	b.WriteString("# smoke sweep (MC real setting, scaled client sweep, 2 queries per cell).\n")
+	b.WriteString("# Deterministic for the fixed seed; TestQueuePopsDelta fails if the\n")
+	b.WriteString("# solver starts popping >10% more entries than this snapshot.\n")
+	b.WriteString("# Regenerate: go test ./internal/bench -run TestQueuePopsDelta -update-golden\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%s\t%d\n", p.key, p.pops)
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueuePopsDelta guards the traversal's work complexity: it replays a
+// seeded Figure-5-style sweep and fails if the efficient solver pops more
+// than deltaTolerance extra queue entries versus the checked-in snapshot.
+// Wall-clock benchmarks are too noisy for CI; pop counts are exact, machine
+// independent, and track the same asymptotic cost the paper's Figure 5
+// measures.
+func TestQueuePopsDelta(t *testing.T) {
+	if testing.Short() {
+		t.Skip("delta sweep runs a multi-cell workload")
+	}
+	points := deltaSweep(t)
+	if *updateGolden {
+		writeGolden(t, queuePopsGolden, points)
+		t.Logf("rewrote %s with %d cells", queuePopsGolden, len(points))
+		return
+	}
+	want := readGolden(t, queuePopsGolden)
+	seen := map[string]bool{}
+	for _, p := range points {
+		seen[p.key] = true
+		w, ok := want[p.key]
+		if !ok {
+			t.Errorf("cell %q missing from %s (sweep changed? run -update-golden and review)", p.key, queuePopsGolden)
+			continue
+		}
+		limit := float64(w) * (1 + deltaTolerance)
+		switch {
+		case float64(p.pops) > limit:
+			t.Errorf("cell %q: %d queue pops, snapshot %d (+%.1f%% > %.0f%% tolerance)",
+				p.key, p.pops, w, 100*(float64(p.pops)/float64(w)-1), 100*deltaTolerance)
+		case float64(p.pops) < float64(w)*(1-deltaTolerance):
+			t.Logf("cell %q improved: %d pops vs snapshot %d — consider -update-golden to tighten the bound",
+				p.key, p.pops, w)
+		}
+	}
+	for key := range want {
+		if !seen[key] {
+			t.Errorf("snapshot cell %q no longer produced by the sweep (run -update-golden and review)", key)
+		}
+	}
+}

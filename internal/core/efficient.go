@@ -33,14 +33,17 @@ import (
 //     client within d_low. The first covering candidate is the answer and
 //     d_low is the exact objective value.
 //
-// Solve is a pure function over a read-only tree and query: all state is
-// call-local, so concurrent Solve calls (on the same or different trees)
-// are safe without synchronization.
+// All solver state is flat and ID-indexed: facility roles, candidate
+// indexes, per-partition client lists, and visited-node marks live in dense
+// epoch-stamped columns on the backing Scratch (a private one when the
+// caller supplies none), and the stepping loops run on monotone bucket
+// queues. Solve is a pure function over a read-only tree and query: state is
+// call-local, so concurrent Solve calls (on the same or different trees) are
+// safe without synchronization.
 //
 // Solve is a thin wrapper over Exec (as is every Solve* entry point in this
 // package): it is Exec with a background context and zero Options, which
-// skips every cancellation checkpoint and allocates fresh state, so its
-// results and work counters are bit-identical to the pre-engine solver.
+// skips every cancellation checkpoint.
 func Solve(t *vip.Tree, q *Query) Result {
 	r, _ := Exec(context.Background(), t, q, Options{})
 	return r.MinMax
@@ -69,7 +72,7 @@ type eaEntry struct {
 // eaEvent is a retrieved (client, facility, distance) triple; events drive
 // the d_low stepping.
 type eaEvent struct {
-	client int
+	client int32
 	fac    indoor.PartitionID
 	isCand bool
 	dist   float64
@@ -81,41 +84,34 @@ type eaState struct {
 	venue *indoor.Venue
 	res   Result
 
-	isExist map[indoor.PartitionID]bool
-	isCand  map[indoor.PartitionID]bool
-	candIdx map[indoor.PartitionID]int
-
 	active      []bool
 	activeCount int
-	byPart      map[indoor.PartitionID][]int // C'[p]: active client indexes
 	offsets     [][]float64
-	explorers   map[indoor.PartitionID]*vip.Explorer
-	visited     map[indoor.PartitionID]map[vip.NodeID]bool
 
 	// Per-client knowledge.
-	bestExist    []float64                        // nearest retrieved existing facility
-	minRetrieved []float64                        // nearest retrieved facility of any kind
-	candDist     []map[indoor.PartitionID]float64 // retrieved candidate distances
-	activated    [][]int                          // candidate indexes activated (dist <= dlow)
+	bestExist    []float64 // nearest retrieved existing facility
+	minRetrieved []float64 // nearest retrieved facility of any kind
+	candCount    []int32   // retrieved candidate pairs (memory metric)
+	activated    [][]int32 // candidate indexes activated (dist <= dlow)
 
 	// Per-candidate coverage at the current d_low.
-	covered []int // number of active clients with activated pair
+	covered []int32 // number of active clients with activated pair
 	// maxCovered upper-bounds max(covered); checkAnswer skips its scan
 	// while maxCovered < activeCount. Stale after pruning, which only
 	// costs an occasional wasted scan.
-	maxCovered int
+	maxCovered int32
 
-	queue  *pq.Queue[eaEntry]
-	events *pq.Queue[eaEvent]
+	queue  *pq.Bucket[eaEntry]
+	events *pq.Bucket[eaEvent]
 
 	// pruneHeap orders clients by their best retrieved existing-facility
 	// distance (lazy entries; stale ones are skipped), so prune(bound)
-	// costs O(pruned log m) instead of a full scan per bound advance.
-	pruneHeap *pq.Queue[int]
+	// costs O(pruned) amortized instead of a full scan per bound advance.
+	pruneHeap *pq.Bucket[int32]
 	// satHeap orders clients by their best retrieved distance of any
 	// kind; unsatisfied counts active clients with nothing retrieved
 	// within the bound yet, making checkList O(1) amortized.
-	satHeap     *pq.Queue[int]
+	satHeap     *pq.Bucket[int32]
 	satisfied   []bool
 	unsatisfied int
 
@@ -139,117 +135,72 @@ type eaState struct {
 	// Top-k mode (SolveTopK): when topK > 0 the run records every
 	// covering candidate with its exact objective instead of stopping at
 	// the first.
-	topK       int
-	ranked     []RankedCandidate
-	rankedSeen map[indoor.PartitionID]bool
+	topK   int
+	ranked []RankedCandidate
 
-	// sc is the backing Scratch when the run uses pooled memory; nil for
-	// fresh-allocation runs, which then take the exact pre-engine path
-	// (every pooled-path branch is a single nil comparison).
+	// sc is the backing Scratch: the caller's pooled one, or a run-private
+	// one when none was supplied — both run the same code path. Its dense
+	// columns hold the facility roles, client grouping, and visited marks.
 	sc *Scratch
+
+	// cache resolves partitions to explorers: the Scratch's run-local
+	// cache, or Session's persistent one.
+	cache *explorerCache
 
 	// curPart is the source partition of the entry being expanded; it
 	// routes the vip.Frontier hook calls back to the right traversal.
 	curPart indoor.PartitionID
 }
 
-// newEAState builds (sc == nil) or resets (sc != nil) the MinMax traversal
-// state. The fresh path allocates exactly what the pre-engine solver did;
-// the reuse path produces observationally identical state — lengths reset,
+// newEAState resets the MinMax traversal state held by sc (a private Scratch
+// is created when sc is nil, so fresh and pooled runs share one code path).
+// Dense columns reset by epoch bump, slices by truncation — lengths reset,
 // capacity retained, result-bearing slices (ranked) never pooled because
 // they escape to the caller.
 func newEAState(t *vip.Tree, q *Query, sc *Scratch) *eaState {
-	m := len(q.Clients)
-	var s *eaState
 	if sc == nil {
-		s = &eaState{
-			t:            t,
-			q:            q,
-			venue:        t.Venue(),
-			isExist:      make(map[indoor.PartitionID]bool, len(q.Existing)),
-			isCand:       make(map[indoor.PartitionID]bool, len(q.Candidates)),
-			candIdx:      make(map[indoor.PartitionID]int, len(q.Candidates)),
-			active:       make([]bool, m),
-			activeCount:  m,
-			byPart:       make(map[indoor.PartitionID][]int),
-			offsets:      make([][]float64, m),
-			explorers:    make(map[indoor.PartitionID]*vip.Explorer),
-			visited:      make(map[indoor.PartitionID]map[vip.NodeID]bool),
-			bestExist:    make([]float64, m),
-			minRetrieved: make([]float64, m),
-			candDist:     make([]map[indoor.PartitionID]float64, m),
-			activated:    make([][]int, m),
-			covered:      make([]int, len(q.Candidates)),
-			queue:        pq.New[eaEntry](64),
-			events:       pq.New[eaEvent](64),
-			pruneHeap:    pq.New[int](64),
-			satHeap:      pq.New[int](64),
-			satisfied:    make([]bool, m),
-			rankedSeen:   make(map[indoor.PartitionID]bool),
-		}
-	} else {
-		s = &sc.ea
-		s.t, s.q, s.venue = t, q, t.Venue()
-		s.res = Result{}
-		s.sc = sc
-		s.isExist = reuseMap(s.isExist)
-		s.isCand = reuseMap(s.isCand)
-		s.candIdx = reuseMap(s.candIdx)
-		s.active = resize(s.active, m)
-		s.activeCount = m
-		if s.byPart == nil {
-			s.byPart = make(map[indoor.PartitionID][]int)
-		} else {
-			sc.recycleIntLists(s.byPart)
-		}
-		s.offsets = resizeLists(s.offsets, m)
-		sc.explorers = reuseMap(sc.explorers)
-		s.explorers = sc.explorers
-		if s.visited == nil {
-			s.visited = make(map[indoor.PartitionID]map[vip.NodeID]bool)
-		} else {
-			sc.recycleNodeSets(s.visited)
-		}
-		s.bestExist = resize(s.bestExist, m)
-		s.minRetrieved = resize(s.minRetrieved, m)
-		s.candDist = resizeMaps(s.candDist, m)
-		s.activated = resizeLists(s.activated, m)
-		s.covered = resize(s.covered, len(q.Candidates))
-		s.maxCovered = 0
-		sc.queue.Reset()
-		s.queue = &sc.queue
-		sc.events.Reset()
-		s.events = &sc.events
-		sc.pruneHeap.Reset()
-		s.pruneHeap = &sc.pruneHeap
-		sc.satHeap.Reset()
-		s.satHeap = &sc.satHeap
-		s.satisfied = resize(s.satisfied, m)
-		s.gd, s.dlow = 0, 0
-		s.isFirst = false
-		s.ctx, s.err = nil, nil
-		s.rec, s.obsStart = nil, time.Time{}
-		s.topK = 0
-		s.ranked = nil // escapes via finishTopK; never pooled
-		s.rankedSeen = reuseMap(s.rankedSeen)
+		sc = NewScratch()
 	}
+	m := len(q.Clients)
+	s := &sc.ea
+	s.t, s.q, s.venue = t, q, t.Venue()
+	s.res = Result{}
+	s.sc = sc
+	sc.claim(t)
+	s.cache = &sc.explorers
+	s.active = resize(s.active, m)
+	s.activeCount = m
+	s.offsets = resizeLists(s.offsets, m)
+	s.bestExist = resize(s.bestExist, m)
+	s.minRetrieved = resize(s.minRetrieved, m)
+	s.candCount = resize(s.candCount, m)
+	s.activated = resizeLists(s.activated, m)
+	s.covered = resize(s.covered, len(q.Candidates))
+	s.maxCovered = 0
+	s.queue, s.events = &sc.queue, &sc.events
+	s.pruneHeap, s.satHeap = &sc.pruneHeap, &sc.satHeap
+	s.satisfied = resize(s.satisfied, m)
+	s.gd, s.dlow = 0, 0
+	s.isFirst = false
+	s.ctx, s.err = nil, nil
+	s.rec, s.obsStart = nil, time.Time{}
+	s.topK = 0
+	s.ranked = nil // escapes via finishTopK; never pooled
 	s.unsatisfied = m
 	for _, f := range q.Existing {
-		s.isExist[f] = true
+		sc.markPart(f, pfExist)
 	}
 	for i, f := range q.Candidates {
-		if _, dup := s.candIdx[f]; !dup {
-			s.isCand[f] = true
-			s.candIdx[f] = i
+		if !sc.partHas(f, pfCand) {
+			sc.markPart(f, pfCand)
+			sc.partCand[f] = int32(i)
 		}
 	}
+	inf := math.Inf(1)
 	for i := range q.Clients {
 		s.active[i] = true
-		s.bestExist[i] = math.Inf(1)
-		s.minRetrieved[i] = math.Inf(1)
-		if s.candDist[i] == nil {
-			s.candDist[i] = make(map[indoor.PartitionID]float64)
-		}
+		s.bestExist[i] = inf
+		s.minRetrieved[i] = inf
 	}
 	return s
 }
@@ -308,16 +259,14 @@ func (s *eaState) cancelled() bool {
 }
 
 func (s *eaState) explorer(p indoor.PartitionID) *vip.Explorer {
-	e, ok := s.explorers[p]
-	if !ok {
-		e = s.t.NewExplorer(p)
-		s.explorers[p] = e
-	}
-	return e
+	return s.cache.get(s.t, p)
 }
 
-// retrieve records facility f for client ci at distance d.
-func (s *eaState) retrieve(ci int, f indoor.PartitionID, d float64) {
+// retrieve records facility f for client ci at distance d. The traversal
+// retrieves each (client, facility) pair exactly once — Visit dedups nodes
+// per source and every facility lives in exactly one leaf — so the event
+// pushes need no per-pair dedup.
+func (s *eaState) retrieve(ci int32, f indoor.PartitionID, d float64) {
 	s.res.Stats.Retrievals++
 	if d < s.minRetrieved[ci] {
 		s.minRetrieved[ci] = d
@@ -325,24 +274,23 @@ func (s *eaState) retrieve(ci int, f indoor.PartitionID, d float64) {
 			s.satHeap.Push(ci, d)
 		}
 	}
-	if s.isExist[f] {
+	fl := s.sc.partFlags(f)
+	if fl&pfExist != 0 {
 		if d < s.bestExist[ci] {
 			s.bestExist[ci] = d
 			s.pruneHeap.Push(ci, d)
 		}
 		s.events.Push(eaEvent{client: ci, fac: f, dist: d}, d)
 	}
-	if s.isCand[f] {
-		if old, ok := s.candDist[ci][f]; !ok || d < old {
-			s.candDist[ci][f] = d
-		}
+	if fl&pfCand != 0 {
+		s.candCount[ci]++
 		s.events.Push(eaEvent{client: ci, fac: f, isCand: true, dist: d}, d)
 	}
 }
 
 // pruneClient removes client ci from C, rolling its activations out of the
 // candidate coverage counters.
-func (s *eaState) pruneClient(ci int) {
+func (s *eaState) pruneClient(ci int32) {
 	if !s.active[ci] {
 		return
 	}
@@ -359,15 +307,7 @@ func (s *eaState) pruneClient(ci int) {
 	for _, k := range s.activated[ci] {
 		s.covered[k]--
 	}
-	p := s.q.Clients[ci].Part
-	list := s.byPart[p]
-	for i, c := range list {
-		if c == ci {
-			list[i] = list[len(list)-1]
-			s.byPart[p] = list[:len(list)-1]
-			break
-		}
-	}
+	s.sc.removeClient(s.q.Clients[ci].Part, ci)
 }
 
 // prune applies Lemma 5.1 at the given bound: a client whose retrieved
@@ -430,7 +370,7 @@ func (s *eaState) activate(ev eaEvent) {
 	// Only the first (smallest) event per pair counts; later duplicates
 	// for the same pair are impossible because retrieval happens once per
 	// (partition, facility) dequeue.
-	k := s.candIdx[ev.fac]
+	k := s.sc.partCand[ev.fac]
 	s.covered[k]++
 	if s.covered[k] > s.maxCovered {
 		s.maxCovered = s.covered[k]
@@ -455,7 +395,7 @@ func (s *eaState) checkAnswer(bound float64) (indoor.PartitionID, bool) {
 		// candidate strictly improves the objective.
 		return indoor.NoPartition, true
 	}
-	if s.maxCovered < s.activeCount {
+	if s.maxCovered < int32(s.activeCount) {
 		// No candidate can cover every remaining client yet; skip the
 		// scan. maxCovered is a stale upper bound, so this only ever
 		// skips scans that would find nothing.
@@ -463,7 +403,7 @@ func (s *eaState) checkAnswer(bound float64) (indoor.PartitionID, bool) {
 	}
 	best := indoor.NoPartition
 	for k, n := range s.q.Candidates {
-		if s.covered[k] != s.activeCount {
+		if s.covered[k] != int32(s.activeCount) {
 			continue
 		}
 		if best == indoor.NoPartition || n < best {
@@ -511,28 +451,24 @@ func (s *eaState) run() (Result, error) {
 	if s.cancelled() {
 		return Result{}, s.err
 	}
+	sc := s.sc
 
 	// Algorithm 2 preamble: a client inside a facility partition retrieves
 	// it at distance zero.
 	for ci, c := range q.Clients {
-		if s.isExist[c.Part] || s.isCand[c.Part] {
-			s.retrieve(ci, c.Part, 0)
+		if sc.partFlags(c.Part)&(pfExist|pfCand) != 0 {
+			s.retrieve(int32(ci), c.Part, 0)
 		}
 	}
 	s.prune(0)
 	for ci, c := range q.Clients {
 		if s.active[ci] {
-			s.addToPart(c.Part, ci)
+			sc.addClient(c.Part, int32(ci))
 		}
 	}
 	for ci, c := range q.Clients {
 		if s.active[ci] {
-			if s.sc != nil {
-				// Warm buffer: same offsets, no per-client allocation.
-				s.offsets[ci] = s.explorer(c.Part).PointOffsetsAppend(s.offsets[ci][:0], c.Loc)
-			} else {
-				s.offsets[ci] = s.explorer(c.Part).PointOffsets(c.Loc)
-			}
+			s.offsets[ci] = s.explorer(c.Part).PointOffsetsAppend(s.offsets[ci][:0], c.Loc)
 		}
 	}
 	if s.rec != nil {
@@ -547,9 +483,12 @@ func (s *eaState) run() (Result, error) {
 	}
 
 	// Algorithm 3: seed the traversal queue with each populated
-	// partition's leaf node.
-	for p, clients := range s.byPart {
-		if len(clients) == 0 {
+	// partition's leaf node, in client order (the touched-partition list
+	// preserves first-client order, so seeding is deterministic and every
+	// counter downstream is too).
+	for _, pp := range sc.parts {
+		p := indoor.PartitionID(pp)
+		if len(sc.clientsOf[p]) == 0 {
 			continue
 		}
 		leaf := s.t.Leaf(p)
@@ -564,7 +503,7 @@ func (s *eaState) run() (Result, error) {
 		entry, prio := s.queue.Pop()
 		s.res.Stats.QueuePops++
 		s.gd = prio
-		if len(s.byPart[entry.part]) > 0 {
+		if len(sc.clientsOf[entry.part]) > 0 {
 			s.process(entry)
 		}
 		// Consume all entries at the same priority before evaluating the
@@ -578,7 +517,7 @@ func (s *eaState) run() (Result, error) {
 			}
 			e2, _ := s.queue.Pop()
 			s.res.Stats.QueuePops++
-			if len(s.byPart[e2.part]) > 0 {
+			if len(sc.clientsOf[e2.part]) > 0 {
 				s.process(e2)
 			}
 		}
@@ -665,30 +604,7 @@ func (s *eaState) answerCheck() (Result, bool) {
 }
 
 func (s *eaState) markVisited(p indoor.PartitionID, n vip.NodeID) bool {
-	m := s.visited[p]
-	if m == nil {
-		if s.sc != nil {
-			m = s.sc.takeNodeSet()
-		} else {
-			m = make(map[vip.NodeID]bool)
-		}
-		s.visited[p] = m
-	}
-	if m[n] {
-		return false
-	}
-	m[n] = true
-	return true
-}
-
-// addToPart appends client ci to C'[p], drawing a recycled list from the
-// Scratch freelist when the partition is new to this run.
-func (s *eaState) addToPart(p indoor.PartitionID, ci int) {
-	list, ok := s.byPart[p]
-	if !ok && s.sc != nil {
-		list = s.sc.takeIntList()
-	}
-	s.byPart[p] = append(list, ci)
+	return s.sc.visit(p, n)
 }
 
 // eaState implements vip.Frontier for the traversal source set by process:
@@ -704,7 +620,9 @@ func (s *eaState) PushNode(n vip.NodeID, prio float64) {
 }
 
 // Wanted reports whether a facility partition participates in the query.
-func (s *eaState) Wanted(f indoor.PartitionID) bool { return s.isExist[f] || s.isCand[f] }
+func (s *eaState) Wanted(f indoor.PartitionID) bool {
+	return s.sc.partFlags(f)&(pfExist|pfCand) != 0
+}
 
 // PushFacility enqueues a facility partition for the current source.
 func (s *eaState) PushFacility(f indoor.PartitionID, prio float64) {
@@ -719,7 +637,7 @@ func (s *eaState) process(entry eaEntry) {
 	p := entry.part
 	e := s.explorer(p)
 	if entry.isFac {
-		for _, ci := range s.byPart[p] {
+		for _, ci := range s.sc.clientsOf[p] {
 			d := e.PointToPartition(s.offsets[ci], entry.fac)
 			s.res.Stats.DistanceCalcs++
 			s.retrieve(ci, entry.fac, d)
@@ -731,21 +649,18 @@ func (s *eaState) process(entry eaEntry) {
 }
 
 // retainedBytes estimates the solver's simultaneously-held state: explorer
-// distance vectors, per-client retrieval bookkeeping, and the live queues.
+// distance vectors, per-client retrieval bookkeeping (each retrieved
+// candidate pair transits the event queue as a 16-byte record), visited-node
+// stamps, and the live queues.
 func (s *eaState) retainedBytes() int {
-	total := 0
-	for _, e := range s.explorers {
-		total += e.RetainedBytes()
-	}
-	const mapEntry = 48
+	total := s.cache.retainedBytes()
+	const pairEntry = 16
 	for ci := range s.q.Clients {
-		total += len(s.candDist[ci])*mapEntry + len(s.activated[ci])*8 + len(s.offsets[ci])*8 + 64
+		total += int(s.candCount[ci])*pairEntry + len(s.activated[ci])*4 + len(s.offsets[ci])*8 + 64
 	}
-	for _, m := range s.visited {
-		total += len(m) * 16
-	}
-	total += s.queue.Len()*24 + s.events.Len()*32
-	total += len(s.covered) * 8
+	total += s.sc.visitCount * 4
+	total += s.queue.Len()*32 + s.events.Len()*40
+	total += len(s.covered) * 4
 	return total
 }
 

@@ -69,7 +69,7 @@ type Options struct {
 	// caller-owned persistent one. Only Session sets it: cached distance
 	// vectors then survive across queries (and are charged to the Stats
 	// memory metric), which is Session's documented trade.
-	explorers map[indoor.PartitionID]*vip.Explorer
+	explorers *explorerCache
 }
 
 // ExecResult carries the payload of one Exec call; the field selected by
@@ -163,7 +163,7 @@ func emptyInput(q *Query, o Options) bool {
 func execMinMax(ctx context.Context, t *vip.Tree, q *Query, o Options) (ExecResult, error) {
 	s := newEAState(t, q, o.Scratch)
 	if o.explorers != nil {
-		s.explorers = o.explorers
+		s.cache = o.explorers
 	}
 	s.bindContext(ctx)
 	s.bindRecorder(o.Recorder)
@@ -188,10 +188,14 @@ func execBaseline(ctx context.Context, t *vip.Tree, q *Query, o Options) (ExecRe
 
 func execMinDist(ctx context.Context, t *vip.Tree, q *Query, o Options) (ExecResult, error) {
 	res := ExtResult{}
-	obj := newMinDistObj(len(q.Clients), o.Scratch)
-	s := newExtState(t, q, obj, &res.Stats, o.Scratch)
+	sc := o.Scratch
+	if sc == nil {
+		sc = NewScratch() // one private Scratch shared by objective and state
+	}
+	obj := newMinDistObj(len(q.Clients), sc)
+	s := newExtState(t, q, obj, &res.Stats, sc)
 	if o.explorers != nil {
-		s.explorers = o.explorers
+		s.cache = o.explorers
 	}
 	s.bindContext(ctx)
 	s.bindRecorder(o.Recorder)
@@ -203,20 +207,20 @@ func execMinDist(ctx context.Context, t *vip.Tree, q *Query, o Options) (ExecRes
 	res.Answer = s.cands[k]
 	res.Objective = obj.sumExact[k]
 	res.Improves = obj.capturedAny[k]
-	retained := s.retainedBytes()
-	for ci := range obj.candDist {
-		retained += len(obj.candDist[ci])*48 + len(obj.pairSettled[ci])*16
-	}
-	res.Stats.RetainedBytes = retained
+	res.Stats.RetainedBytes = s.retainedBytes() + obj.tab.retainedBytes()
 	return ExecResult{Ext: res}, nil
 }
 
 func execMaxSum(ctx context.Context, t *vip.Tree, q *Query, o Options) (ExecResult, error) {
 	res := ExtResult{}
-	obj := newMaxSumObj(len(q.Clients), o.Scratch)
-	s := newExtState(t, q, obj, &res.Stats, o.Scratch)
+	sc := o.Scratch
+	if sc == nil {
+		sc = NewScratch() // one private Scratch shared by objective and state
+	}
+	obj := newMaxSumObj(len(q.Clients), sc)
+	s := newExtState(t, q, obj, &res.Stats, sc)
 	if o.explorers != nil {
-		s.explorers = o.explorers
+		s.cache = o.explorers
 	}
 	s.bindContext(ctx)
 	s.bindRecorder(o.Recorder)
@@ -228,18 +232,14 @@ func execMaxSum(ctx context.Context, t *vip.Tree, q *Query, o Options) (ExecResu
 	res.Answer = s.cands[k]
 	res.Objective = float64(obj.captured[k])
 	res.Improves = obj.captured[k] > 0
-	retained := s.retainedBytes()
-	for ci := range obj.candDist {
-		retained += len(obj.candDist[ci])*48 + len(obj.pairDone[ci])*16
-	}
-	res.Stats.RetainedBytes = retained
+	res.Stats.RetainedBytes = s.retainedBytes() + obj.tab.retainedBytes()
 	return ExecResult{Ext: res}, nil
 }
 
 func execTopK(ctx context.Context, t *vip.Tree, q *Query, o Options) (ExecResult, error) {
 	s := newEAState(t, q, o.Scratch)
 	if o.explorers != nil {
-		s.explorers = o.explorers
+		s.cache = o.explorers
 	}
 	s.bindContext(ctx)
 	s.bindRecorder(o.Recorder)

@@ -49,7 +49,9 @@ type extObjective interface {
 }
 
 // extState runs the efficient approach's traversal (grouped clients, single
-// VIP-tree over Fe ∪ Fn, Lemma 5.1 pruning) for a pluggable objective.
+// VIP-tree over Fe ∪ Fn, Lemma 5.1 pruning) for a pluggable objective. Like
+// eaState, its facility roles, client grouping, and visited marks live in
+// the backing Scratch's dense epoch-stamped columns.
 type extState struct {
 	t     *vip.Tree
 	q     *Query
@@ -57,22 +59,16 @@ type extState struct {
 	obj   extObjective
 	cands []indoor.PartitionID
 
-	isExist map[indoor.PartitionID]bool
-	candIdx map[indoor.PartitionID]int
-
 	active      []bool
 	activeCount int
-	byPart      map[indoor.PartitionID][]int
 	offsets     [][]float64
-	explorers   map[indoor.PartitionID]*vip.Explorer
-	visited     map[indoor.PartitionID]map[vip.NodeID]bool
 	bestExist   []float64
 
-	queue *pq.Queue[eaEntry]
+	queue *pq.Bucket[eaEntry]
 	// pruneHeap orders clients by best retrieved existing distance (lazy
 	// entries), so prune(bound) avoids a full client scan per bound
 	// advance.
-	pruneHeap *pq.Queue[int]
+	pruneHeap *pq.Bucket[int32]
 	gd        float64
 
 	// ctx/err mirror eaState's cancellation checkpoints: ctx is non-nil
@@ -86,78 +82,51 @@ type extState struct {
 	rec      obs.Recorder
 	obsStart time.Time
 
-	// sc/curPart mirror eaState: the backing Scratch (nil on the
-	// fresh-allocation path) and the source partition of the entry being
-	// expanded through vip.Tree.Expand.
+	// sc/cache/curPart mirror eaState: the backing Scratch, the explorer
+	// cache in use, and the source partition of the entry being expanded
+	// through vip.Tree.Expand.
 	sc      *Scratch
+	cache   *explorerCache
 	curPart indoor.PartitionID
 }
 
-// newExtState builds (sc == nil) or resets (sc != nil) the shared extension
-// traversal state; see newEAState for the fresh/reuse contract.
+// newExtState resets the shared extension traversal state held by sc (a
+// private Scratch is created when sc is nil); see newEAState for the reset
+// contract.
 func newExtState(t *vip.Tree, q *Query, obj extObjective, stats *Stats, sc *Scratch) *extState {
-	m := len(q.Clients)
-	var s *extState
 	if sc == nil {
-		s = &extState{
-			t:         t,
-			q:         q,
-			res:       stats,
-			obj:       obj,
-			isExist:   make(map[indoor.PartitionID]bool, len(q.Existing)),
-			candIdx:   make(map[indoor.PartitionID]int, len(q.Candidates)),
-			active:    make([]bool, m),
-			byPart:    make(map[indoor.PartitionID][]int),
-			offsets:   make([][]float64, m),
-			explorers: make(map[indoor.PartitionID]*vip.Explorer),
-			visited:   make(map[indoor.PartitionID]map[vip.NodeID]bool),
-			bestExist: make([]float64, m),
-			queue:     pq.New[eaEntry](64),
-			pruneHeap: pq.New[int](64),
-		}
-	} else {
-		s = &sc.ext
-		s.t, s.q, s.res, s.obj = t, q, stats, obj
-		s.sc = sc
-		s.cands = s.cands[:0]
-		s.isExist = reuseMap(s.isExist)
-		s.candIdx = reuseMap(s.candIdx)
-		s.active = resize(s.active, m)
-		if s.byPart == nil {
-			s.byPart = make(map[indoor.PartitionID][]int)
-		} else {
-			sc.recycleIntLists(s.byPart)
-		}
-		s.offsets = resizeLists(s.offsets, m)
-		sc.explorers = reuseMap(sc.explorers)
-		s.explorers = sc.explorers
-		if s.visited == nil {
-			s.visited = make(map[indoor.PartitionID]map[vip.NodeID]bool)
-		} else {
-			sc.recycleNodeSets(s.visited)
-		}
-		s.bestExist = resize(s.bestExist, m)
-		sc.queue.Reset()
-		s.queue = &sc.queue
-		sc.pruneHeap.Reset()
-		s.pruneHeap = &sc.pruneHeap
-		s.gd = 0
-		s.ctx, s.err = nil, nil
-		s.rec, s.obsStart = nil, time.Time{}
+		sc = NewScratch()
 	}
+	m := len(q.Clients)
+	s := &sc.ext
+	s.t, s.q, s.res, s.obj = t, q, stats, obj
+	s.sc = sc
+	sc.claim(t)
+	s.cache = &sc.explorers
+	s.cands = s.cands[:0]
+	s.active = resize(s.active, m)
+	s.offsets = resizeLists(s.offsets, m)
+	s.bestExist = resize(s.bestExist, m)
+	s.queue = &sc.queue
+	s.pruneHeap = &sc.pruneHeap
+	s.gd = 0
+	s.ctx, s.err = nil, nil
+	s.rec, s.obsStart = nil, time.Time{}
 	s.activeCount = m
 	for _, f := range q.Existing {
-		s.isExist[f] = true
+		sc.markPart(f, pfExist)
 	}
-	for i, f := range q.Candidates {
-		if _, dup := s.candIdx[f]; !dup {
-			s.candIdx[f] = i
+	for _, f := range q.Candidates {
+		if !sc.partHas(f, pfCand) {
+			sc.markPart(f, pfCand)
+			sc.partCand[f] = int32(len(s.cands))
 			s.cands = append(s.cands, f)
 		}
 	}
+	inf := math.Inf(1)
 	for i := range q.Clients {
 		s.active[i] = true
-		s.bestExist[i] = math.Inf(1)
+		s.bestExist[i] = inf
 	}
 	return s
 }
@@ -210,49 +179,22 @@ func (s *extState) cancelled() bool {
 }
 
 func (s *extState) explorer(p indoor.PartitionID) *vip.Explorer {
-	e, ok := s.explorers[p]
-	if !ok {
-		e = s.t.NewExplorer(p)
-		s.explorers[p] = e
-	}
-	return e
+	return s.cache.get(s.t, p)
 }
 
 func (s *extState) markVisited(p indoor.PartitionID, n vip.NodeID) bool {
-	m := s.visited[p]
-	if m == nil {
-		if s.sc != nil {
-			m = s.sc.takeNodeSet()
-		} else {
-			m = make(map[vip.NodeID]bool)
-		}
-		s.visited[p] = m
-	}
-	if m[n] {
-		return false
-	}
-	m[n] = true
-	return true
+	return s.sc.visit(p, n)
 }
 
-// addToPart appends client ci to C'[p], drawing a recycled list from the
-// Scratch freelist when the partition is new to this run.
-func (s *extState) addToPart(p indoor.PartitionID, ci int) {
-	list, ok := s.byPart[p]
-	if !ok && s.sc != nil {
-		list = s.sc.takeIntList()
-	}
-	s.byPart[p] = append(list, ci)
-}
-
-func (s *extState) retrieve(ci int, f indoor.PartitionID, d float64) {
+func (s *extState) retrieve(ci int32, f indoor.PartitionID, d float64) {
 	s.res.Retrievals++
-	if s.isExist[f] && d < s.bestExist[ci] {
+	fl := s.sc.partFlags(f)
+	if fl&pfExist != 0 && d < s.bestExist[ci] {
 		s.bestExist[ci] = d
 		s.pruneHeap.Push(ci, d)
 	}
-	if k, ok := s.candIdx[f]; ok {
-		s.obj.retrieved(ci, k, d, s.gd)
+	if fl&pfCand != 0 {
+		s.obj.retrieved(int(ci), int(s.sc.partCand[f]), d, s.gd)
 	}
 }
 
@@ -274,16 +216,8 @@ func (s *extState) prune(bound float64) {
 		if s.rec != nil {
 			s.emit(obs.StagePrune, s.gd)
 		}
-		s.obj.clientPruned(ci, s.bestExist[ci])
-		p := s.q.Clients[ci].Part
-		list := s.byPart[p]
-		for i, c := range list {
-			if c == ci {
-				list[i] = list[len(list)-1]
-				s.byPart[p] = list[:len(list)-1]
-				break
-			}
-		}
+		s.obj.clientPruned(int(ci), s.bestExist[ci])
+		s.sc.removeClient(s.q.Clients[ci].Part, ci)
 	}
 }
 
@@ -300,11 +234,7 @@ func (s *extState) PushNode(n vip.NodeID, prio float64) {
 
 // Wanted reports whether a facility partition participates in the query.
 func (s *extState) Wanted(f indoor.PartitionID) bool {
-	if s.isExist[f] {
-		return true
-	}
-	_, ok := s.candIdx[f]
-	return ok
+	return s.sc.partFlags(f)&(pfExist|pfCand) != 0
 }
 
 // PushFacility enqueues a facility partition for the current source.
@@ -316,7 +246,7 @@ func (s *extState) process(entry eaEntry) {
 	p := entry.part
 	e := s.explorer(p)
 	if entry.isFac {
-		for _, ci := range s.byPart[p] {
+		for _, ci := range s.sc.clientsOf[p] {
 			d := e.PointToPartition(s.offsets[ci], entry.fac)
 			s.res.DistanceCalcs++
 			s.retrieve(ci, entry.fac, d)
@@ -329,14 +259,9 @@ func (s *extState) process(entry eaEntry) {
 
 // retainedBytes estimates the traversal's simultaneously-held state.
 func (s *extState) retainedBytes() int {
-	total := 0
-	for _, e := range s.explorers {
-		total += e.RetainedBytes()
-	}
-	for _, m := range s.visited {
-		total += len(m) * 16
-	}
-	return total + s.queue.Len()*24 + len(s.bestExist)*8
+	total := s.cache.retainedBytes()
+	total += s.sc.visitCount * 4
+	return total + s.queue.Len()*32 + len(s.bestExist)*8
 }
 
 // run drives the traversal until the objective declares an answer. It
@@ -347,24 +272,20 @@ func (s *extState) run() (int, error) {
 	if s.cancelled() {
 		return -1, s.err
 	}
+	sc := s.sc
 	// Preamble: clients inside facility partitions retrieve them at
 	// distance zero — routed through retrieve so the Retrievals counter
 	// tallies the same events as the MinMax solver's preamble.
 	for ci, c := range q.Clients {
-		if _, cand := s.candIdx[c.Part]; s.isExist[c.Part] || cand {
-			s.retrieve(ci, c.Part, 0)
+		if sc.partFlags(c.Part)&(pfExist|pfCand) != 0 {
+			s.retrieve(int32(ci), c.Part, 0)
 		}
 	}
 	s.prune(0)
 	for ci, c := range q.Clients {
 		if s.active[ci] {
-			s.addToPart(c.Part, ci)
-			if s.sc != nil {
-				// Warm buffer: same offsets, no per-client allocation.
-				s.offsets[ci] = s.explorer(c.Part).PointOffsetsAppend(s.offsets[ci][:0], c.Loc)
-			} else {
-				s.offsets[ci] = s.explorer(c.Part).PointOffsets(c.Loc)
-			}
+			sc.addClient(c.Part, int32(ci))
+			s.offsets[ci] = s.explorer(c.Part).PointOffsetsAppend(s.offsets[ci][:0], c.Loc)
 		}
 	}
 	if s.rec != nil {
@@ -377,8 +298,11 @@ func (s *extState) run() (int, error) {
 	if k, ok := s.obj.answer(0); ok {
 		return k, nil
 	}
-	for p, clients := range s.byPart {
-		if len(clients) == 0 {
+	// Seed in client order via the touched-partition list (deterministic;
+	// see the eaState seeding comment).
+	for _, pp := range sc.parts {
+		p := indoor.PartitionID(pp)
+		if len(sc.clientsOf[p]) == 0 {
 			continue
 		}
 		leaf := s.t.Leaf(p)
@@ -392,7 +316,7 @@ func (s *extState) run() (int, error) {
 		entry, prio := s.queue.Pop()
 		s.res.QueuePops++
 		s.gd = prio
-		if len(s.byPart[entry.part]) > 0 {
+		if len(sc.clientsOf[entry.part]) > 0 {
 			s.process(entry)
 		}
 		for !s.queue.Empty() {
@@ -404,7 +328,7 @@ func (s *extState) run() (int, error) {
 			}
 			e2, _ := s.queue.Pop()
 			s.res.QueuePops++
-			if len(s.byPart[e2.part]) > 0 {
+			if len(sc.clientsOf[e2.part]) > 0 {
 				s.process(e2)
 			}
 		}

@@ -5,7 +5,6 @@ import (
 	"math"
 
 	"github.com/indoorspatial/ifls/internal/indoor"
-	"github.com/indoorspatial/ifls/internal/pq"
 	"github.com/indoorspatial/ifls/internal/vip"
 )
 
@@ -41,103 +40,72 @@ func SolveMaxSumContext(ctx context.Context, t *vip.Tree, q *Query) (ExtResult, 
 	return r.Ext, nil
 }
 
+// maxSumObj counts captured clients per candidate over the shared pairTab
+// bookkeeping.
 type maxSumObj struct {
-	m          int
-	ids        []indoor.PartitionID
-	captured   []int
-	decided    []int
-	pending    *pq.Queue[pendPair]
-	pairDone   []map[int]bool
-	candDist   []map[int]float64
-	clientDone []bool
+	tab      pairTab
+	ids      []indoor.PartitionID
+	captured []int
+	decided  []int
 }
 
-// newMaxSumObj builds (sc == nil) or resets (sc != nil) the MaxSum
-// candidate bookkeeping; see newEAState for the fresh/reuse contract.
+// newMaxSumObj resets the MaxSum candidate bookkeeping held by sc (a private
+// Scratch is created when sc is nil); see newEAState for the reset contract.
 func newMaxSumObj(m int, sc *Scratch) *maxSumObj {
-	var o *maxSumObj
 	if sc == nil {
-		o = &maxSumObj{
-			m:          m,
-			pending:    pq.New[pendPair](64),
-			pairDone:   make([]map[int]bool, m),
-			candDist:   make([]map[int]float64, m),
-			clientDone: make([]bool, m),
-		}
-	} else {
-		o = &sc.ms
-		o.m = m
-		sc.pending.Reset()
-		o.pending = &sc.pending
-		o.pairDone = resizeMaps(o.pairDone, m)
-		o.candDist = resizeMaps(o.candDist, m)
-		o.clientDone = resize(o.clientDone, m)
+		sc = NewScratch()
 	}
-	for i := 0; i < m; i++ {
-		if o.pairDone[i] == nil {
-			o.pairDone[i] = make(map[int]bool)
-		}
-		if o.candDist[i] == nil {
-			o.candDist[i] = make(map[int]float64)
-		}
-	}
+	o := &sc.ms
+	o.tab.reset(m, &sc.pending)
 	return o
 }
 
 func (o *maxSumObj) init(cands []indoor.PartitionID) {
 	o.ids = cands
 	nc := len(cands)
+	o.tab.initCands(nc)
 	o.captured = resize(o.captured, nc)
 	o.decided = resize(o.decided, nc)
 }
 
-func (o *maxSumObj) decide(ci, k int, captures bool) {
+func (o *maxSumObj) decide(k int, captures bool) {
 	o.decided[k]++
 	if captures {
 		o.captured[k]++
 	}
-	o.pairDone[ci][k] = true
 }
 
 func (o *maxSumObj) retrieved(ci, k int, d, gd float64) {
-	if old, ok := o.candDist[ci][k]; ok && old <= d {
-		return
-	}
-	o.candDist[ci][k] = d
-	o.pending.Push(pendPair{client: ci, cand: k, dist: d}, d)
+	o.tab.add(ci, k, d)
 }
 
 func (o *maxSumObj) clientPruned(ci int, dNN float64) {
-	o.clientDone[ci] = true
-	nc := len(o.captured)
-	for k := 0; k < nc; k++ {
-		if o.pairDone[ci][k] {
+	t := &o.tab
+	t.clientDone[ci] = true
+	t.stampRow(ci)
+	for k := 0; k < t.nc; k++ {
+		if t.rowHas(k) {
+			if t.rowDone[k] {
+				continue
+			}
+			o.decide(k, t.rowDist[k] < dNN)
 			continue
 		}
-		d, ok := o.candDist[ci][k]
-		o.decide(ci, k, ok && d < dNN)
+		o.decide(k, false)
 	}
 }
 
 func (o *maxSumObj) boundAdvanced(gd float64) {
-	for !o.pending.Empty() {
-		if _, d := o.pending.Peek(); d > gd {
-			return
-		}
-		p, _ := o.pending.Pop()
-		if o.clientDone[p.client] || o.pairDone[p.client][p.cand] {
-			continue
-		}
-		// Unpruned client: nearest existing facility beyond gd >= d, so
-		// the candidate strictly captures.
-		o.decide(p.client, p.cand, true)
-	}
+	// Unpruned client: nearest existing facility beyond gd >= d, so the
+	// candidate strictly captures.
+	o.tab.drain(gd, func(k int, d float64) { o.decide(k, true) })
 }
 
 func (o *maxSumObj) answer(gd float64) (int, bool) {
+	m := o.tab.m
 	best, bestCount := -1, -1
 	for k := range o.captured {
-		if o.decided[k] != o.m {
+		if o.decided[k] != m {
 			continue
 		}
 		// Equal capture counts resolve to the lowest candidate ID — the
@@ -156,7 +124,7 @@ func (o *maxSumObj) answer(gd float64) (int, bool) {
 		if k == best {
 			continue
 		}
-		ub := o.captured[k] + (o.m - o.decided[k])
+		ub := o.captured[k] + (m - o.decided[k])
 		// An undecided candidate that could still tie the best count is only
 		// a threat when it would win the lowest-ID tie-break.
 		if ub > bestCount || (ub == bestCount && o.ids[k] < o.ids[best]) {

@@ -5,7 +5,6 @@ import (
 	"math"
 
 	"github.com/indoorspatial/ifls/internal/indoor"
-	"github.com/indoorspatial/ifls/internal/pq"
 	"github.com/indoorspatial/ifls/internal/vip"
 )
 
@@ -43,127 +42,84 @@ func SolveMinDistContext(ctx context.Context, t *vip.Tree, q *Query) (ExtResult,
 	return r.Ext, nil
 }
 
-type pendPair struct {
-	client int
-	cand   int
-	dist   float64
-}
-
+// minDistObj accumulates exact per-candidate totals over the shared pairTab
+// bookkeeping.
 type minDistObj struct {
-	m            int
+	tab          pairTab
 	ids          []indoor.PartitionID
 	sumExact     []float64
 	settledCount []int
 	capturedAny  []bool
-	pending      *pq.Queue[pendPair]
-	// pairSettled[ci] holds candidate indexes settled for client ci before
-	// the client itself settled; clientDone[ci] marks full settlement.
-	pairSettled []map[int]bool
-	candDist    []map[int]float64
-	clientDone  []bool
-	dNN         []float64
+	dNN          []float64
 }
 
-// newMinDistObj builds (sc == nil) or resets (sc != nil) the MinDist
-// candidate bookkeeping; see newEAState for the fresh/reuse contract.
+// newMinDistObj resets the MinDist candidate bookkeeping held by sc (a
+// private Scratch is created when sc is nil); see newEAState for the reset
+// contract.
 func newMinDistObj(m int, sc *Scratch) *minDistObj {
-	var o *minDistObj
 	if sc == nil {
-		o = &minDistObj{
-			m:           m,
-			pending:     pq.New[pendPair](64),
-			pairSettled: make([]map[int]bool, m),
-			candDist:    make([]map[int]float64, m),
-			clientDone:  make([]bool, m),
-			dNN:         make([]float64, m),
-		}
-	} else {
-		o = &sc.md
-		o.m = m
-		sc.pending.Reset()
-		o.pending = &sc.pending
-		o.pairSettled = resizeMaps(o.pairSettled, m)
-		o.candDist = resizeMaps(o.candDist, m)
-		o.clientDone = resize(o.clientDone, m)
-		o.dNN = resize(o.dNN, m)
+		sc = NewScratch()
 	}
-	for i := 0; i < m; i++ {
-		if o.pairSettled[i] == nil {
-			o.pairSettled[i] = make(map[int]bool)
-		}
-		if o.candDist[i] == nil {
-			o.candDist[i] = make(map[int]float64)
-		}
-	}
+	o := &sc.md
+	o.tab.reset(m, &sc.pending)
+	o.dNN = resize(o.dNN, m)
 	return o
 }
 
 // init sizes the per-candidate accumulators and records the candidate IDs
 // (index-aligned with the traversal's deduplicated candidate list) for the
-// lowest-ID tie-break. resize(nil, nc) is make([]T, nc), so the fresh path
-// allocates exactly as before; on a reused objective the retained arrays are
-// zeroed in place.
+// lowest-ID tie-break.
 func (o *minDistObj) init(cands []indoor.PartitionID) {
 	nc := len(cands)
 	o.ids = cands
+	o.tab.initCands(nc)
 	o.sumExact = resize(o.sumExact, nc)
 	o.settledCount = resize(o.settledCount, nc)
 	o.capturedAny = resize(o.capturedAny, nc)
 }
 
-func (o *minDistObj) settle(ci, k int, contribution float64, captured bool) {
+func (o *minDistObj) settle(k int, contribution float64, captured bool) {
 	o.sumExact[k] += contribution
 	o.settledCount[k]++
 	if captured {
 		o.capturedAny[k] = true
 	}
-	o.pairSettled[ci][k] = true
 }
 
 func (o *minDistObj) retrieved(ci, k int, d, gd float64) {
-	if old, ok := o.candDist[ci][k]; ok && old <= d {
-		return
-	}
-	o.candDist[ci][k] = d
-	o.pending.Push(pendPair{client: ci, cand: k, dist: d}, d)
+	o.tab.add(ci, k, d)
 }
 
 func (o *minDistObj) clientPruned(ci int, dNN float64) {
 	o.dNN[ci] = dNN
-	o.clientDone[ci] = true
-	nc := len(o.sumExact)
-	for k := 0; k < nc; k++ {
-		if o.pairSettled[ci][k] {
-			continue
+	t := &o.tab
+	t.clientDone[ci] = true
+	t.stampRow(ci)
+	for k := 0; k < t.nc; k++ {
+		if t.rowHas(k) {
+			if t.rowDone[k] {
+				continue
+			}
+			if d := t.rowDist[k]; d < dNN {
+				o.settle(k, d, true)
+				continue
+			}
 		}
-		contribution, captured := dNN, false
-		if d, ok := o.candDist[ci][k]; ok && d < dNN {
-			contribution, captured = d, true
-		}
-		o.settle(ci, k, contribution, captured)
+		o.settle(k, dNN, false)
 	}
 }
 
 func (o *minDistObj) boundAdvanced(gd float64) {
-	for !o.pending.Empty() {
-		if _, d := o.pending.Peek(); d > gd {
-			return
-		}
-		p, d := o.pending.Pop()
-		if o.clientDone[p.client] || o.pairSettled[p.client][p.cand] {
-			continue
-		}
-		// The client is unpruned, so its true nearest-existing distance
-		// exceeds gd >= d: the contribution is d and the candidate
-		// strictly captures the client.
-		o.settle(p.client, p.cand, d, true)
-	}
+	// An unpruned client's true nearest-existing distance exceeds gd >= d,
+	// so each drained pair contributes d and strictly captures the client.
+	o.tab.drain(gd, func(k int, d float64) { o.settle(k, d, true) })
 }
 
 func (o *minDistObj) answer(gd float64) (int, bool) {
+	m := o.tab.m
 	best, bestTotal := -1, math.Inf(1)
 	for k := range o.sumExact {
-		if o.settledCount[k] != o.m {
+		if o.settledCount[k] != m {
 			continue
 		}
 		// Equal totals resolve to the lowest candidate ID — the tie-break
@@ -182,7 +138,7 @@ func (o *minDistObj) answer(gd float64) (int, bool) {
 		if k == best {
 			continue
 		}
-		lb := o.sumExact[k] + float64(o.m-o.settledCount[k])*gd
+		lb := o.sumExact[k] + float64(m-o.settledCount[k])*gd
 		// An unsettled candidate that could still tie the best total is only
 		// a threat when it would win the lowest-ID tie-break.
 		if lb < bestTotal || (lb == bestTotal && o.ids[k] < o.ids[best]) {

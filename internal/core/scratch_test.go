@@ -129,12 +129,12 @@ func TestSessionMatchesPackageSolvers(t *testing.T) {
 }
 
 // sessionAllocBound is the pinned steady-state allocation count for one
-// Session.Solve call on the fixture query. With the scratch memory,
-// explorer cache, and queue storage all warm, the measured value is 0
-// allocations per query; the bound leaves headroom of a single stray
-// allocation for runtime map internals. A regression here means someone
-// re-introduced per-query allocation into the engine hot path.
-const sessionAllocBound = 1
+// Session.Solve call on the fixture query: zero. With the scratch memory,
+// explorer cache, dense partition columns, and queue storage all warm, a
+// query touches no map internals and appends into retained capacity only. A
+// regression here means someone re-introduced per-query allocation into the
+// engine hot path.
+const sessionAllocBound = 0
 
 // TestSessionSolveAllocBound pins the steady-state allocation count of a
 // warm Session.Solve. The bound is a small constant — independent of how

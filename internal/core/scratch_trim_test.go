@@ -1,0 +1,115 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"github.com/indoorspatial/ifls/internal/pq"
+)
+
+// TestResizeTrimsOversized: the resize helpers reallocate at need when the
+// retained capacity is both above minRetainCap and more than trimFactor
+// times the need, and retain capacity otherwise.
+func TestResizeTrimsOversized(t *testing.T) {
+	big := make([]float64, 4*minRetainCap)
+	if got := resize(big, 10); cap(got) != 10 {
+		t.Errorf("resize(cap %d, 10): cap = %d, want 10 (trimmed)", cap(big), cap(got))
+	}
+	small := make([]float64, minRetainCap)
+	if got := resize(small, 10); cap(got) != minRetainCap {
+		t.Errorf("resize(cap %d, 10): cap = %d, want %d (retained)", cap(small), cap(got), minRetainCap)
+	}
+	// Repeated same-size runs never trim: capacity equals need.
+	exact := make([]float64, 4*minRetainCap)
+	if got := resize(exact, 4*minRetainCap); cap(got) != 4*minRetainCap {
+		t.Errorf("resize at need: cap = %d, want %d (no trim)", cap(got), 4*minRetainCap)
+	}
+}
+
+// TestResizeListsTrimsInner: oversized outer list-of-lists are dropped
+// wholesale, and retained inner lists above innerTrimCap are released.
+func TestResizeListsTrimsInner(t *testing.T) {
+	bigOuter := make([][]float64, 4*minRetainCap)
+	if got := resizeLists(bigOuter, 8); cap(got) != 8 {
+		t.Errorf("outer trim: cap = %d, want 8", cap(got))
+	}
+	s := make([][]float64, 4)
+	s[0] = make([]float64, 2*innerTrimCap)
+	s[1] = make([]float64, innerTrimCap/2)
+	got := resizeLists(s, 4)
+	if got[0] != nil {
+		t.Errorf("inner list with cap %d retained; want dropped (> innerTrimCap %d)", cap(got[0]), innerTrimCap)
+	}
+	if cap(got[1]) != innerTrimCap/2 || len(got[1]) != 0 {
+		t.Errorf("inner list cap/len = %d/%d, want %d/0 (retained, truncated)", cap(got[1]), len(got[1]), innerTrimCap/2)
+	}
+}
+
+// TestResetQueueTrims: a bucket queue that grew past queueTrimCap is dropped
+// to its zero value on reset; a modest one keeps its storage.
+func TestResetQueueTrims(t *testing.T) {
+	var q pq.Bucket[int32]
+	for i := 0; i < queueTrimCap+1; i++ {
+		q.Push(int32(i), float64(i))
+	}
+	resetQueue(&q)
+	if q.Len() != 0 || q.Cap() != 0 {
+		t.Errorf("after trim reset: len/cap = %d/%d, want 0/0", q.Len(), q.Cap())
+	}
+	for i := 0; i < 100; i++ {
+		q.Push(int32(i), float64(i))
+	}
+	resetQueue(&q)
+	if q.Len() != 0 || q.Cap() == 0 {
+		t.Errorf("after plain reset: len/cap = %d/%d, want 0 and retained capacity", q.Len(), q.Cap())
+	}
+}
+
+// TestScratchTrimsAfterLargeQuery: a pooled Scratch that served a large
+// client population releases the oversized per-client buffers on the next
+// (small) run instead of pinning them forever — the retention-bound
+// guarantee the trim policy exists for. Answers are unaffected.
+func TestScratchTrimsAfterLargeQuery(t *testing.T) {
+	tree, qs := scratchQueries(t)
+	small := qs[0]
+	big := &Query{Existing: small.Existing, Candidates: small.Candidates}
+	for i := 0; i < 8*minRetainCap; i++ {
+		c := small.Clients[i%len(small.Clients)]
+		c.ID = int32(i)
+		big.Clients = append(big.Clients, c)
+	}
+
+	sc := NewScratch()
+	if _, err := Exec(context.Background(), tree, big, Options{Scratch: sc}); err != nil {
+		t.Fatal(err)
+	}
+	if cap(sc.ea.bestExist) < len(big.Clients) {
+		t.Fatalf("big run: cap(bestExist) = %d, want >= %d", cap(sc.ea.bestExist), len(big.Clients))
+	}
+
+	got, err := Exec(context.Background(), tree, small, Options{Scratch: sc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Exec(context.Background(), tree, small, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MinMax != want.MinMax {
+		t.Errorf("post-trim answer diverged: %+v != %+v", got.MinMax, want.MinMax)
+	}
+	m := len(small.Clients)
+	for name, c := range map[string]int{
+		"bestExist":    cap(sc.ea.bestExist),
+		"minRetrieved": cap(sc.ea.minRetrieved),
+		"active":       cap(sc.ea.active),
+		"satisfied":    cap(sc.ea.satisfied),
+		"candCount":    cap(sc.ea.candCount),
+		"offsets":      cap(sc.ea.offsets),
+		"activated":    cap(sc.ea.activated),
+	} {
+		if c != m {
+			t.Errorf("small run after big: cap(%s) = %d, want %d (trimmed)", name, c, m)
+		}
+	}
+}

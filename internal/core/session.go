@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 
-	"github.com/indoorspatial/ifls/internal/indoor"
 	"github.com/indoorspatial/ifls/internal/vip"
 )
 
@@ -26,7 +25,7 @@ import (
 // Session.
 type Session struct {
 	t         *vip.Tree
-	explorers map[indoor.PartitionID]*vip.Explorer
+	explorers *explorerCache
 	scratch   *Scratch
 }
 
@@ -35,7 +34,7 @@ type Session struct {
 func NewSession(t *vip.Tree) *Session {
 	return &Session{
 		t:         t,
-		explorers: make(map[indoor.PartitionID]*vip.Explorer),
+		explorers: &explorerCache{byPart: make([]*vip.Explorer, t.Venue().NumPartitions())},
 		scratch:   NewScratch(),
 	}
 }
@@ -118,4 +117,4 @@ func (s *Session) SolveMultiContext(ctx context.Context, q *Query, k int) (Multi
 
 // CachedPartitions reports how many partition explorers the session holds.
 // Single-goroutine, per the Session contract.
-func (s *Session) CachedPartitions() int { return len(s.explorers) }
+func (s *Session) CachedPartitions() int { return s.explorers.size() }

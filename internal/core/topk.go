@@ -72,14 +72,14 @@ func (s *eaState) collectCovering() bool {
 		// improve the status quo either.
 		return true
 	}
-	if s.maxCovered < s.activeCount {
+	if s.maxCovered < int32(s.activeCount) {
 		return false
 	}
 	for kIdx, n := range s.q.Candidates {
-		if s.covered[kIdx] != s.activeCount || s.rankedSeen[n] {
+		if s.covered[kIdx] != int32(s.activeCount) || s.sc.partHas(n, pfRanked) {
 			continue
 		}
-		s.rankedSeen[n] = true
+		s.sc.markPart(n, pfRanked)
 		s.ranked = append(s.ranked, RankedCandidate{Candidate: n, Objective: s.dlow})
 	}
 	return len(s.ranked) >= s.topK

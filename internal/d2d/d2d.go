@@ -13,21 +13,40 @@ import (
 // stays total for robustness.
 var Unreachable = math.Inf(1)
 
-type edge struct {
-	to indoor.DoorID
-	w  float64
-}
-
-// Graph is the door-to-door graph of a venue. It is immutable after New and
-// safe for concurrent use.
+// Graph is the door-to-door graph of a venue, stored in CSR (compressed
+// sparse row) form: door d's outgoing edges are nbr[off[d]:off[d+1]] with
+// weights wt at the same indexes. The flat layout keeps every Dijkstra
+// relaxation on two contiguous arrays instead of a slice-of-slices pointer
+// chase. It is immutable after New and safe for concurrent use.
 type Graph struct {
 	venue *indoor.Venue
-	adj   [][]edge
+	off   []int32
+	nbr   []indoor.DoorID
+	wt    []float64
 }
 
-// New builds the door graph of v.
+// New builds the door graph of v. Edge order within a door's row follows the
+// partition scan order of the venue, which downstream shortest-path parent
+// trees (Path, PointRoute) depend on for deterministic tie-breaks.
 func New(v *indoor.Venue) *Graph {
-	g := &Graph{venue: v, adj: make([][]edge, v.NumDoors())}
+	n := v.NumDoors()
+	g := &Graph{venue: v, off: make([]int32, n+1)}
+	// Pass 1: count edges per door. Every ordered intra-partition door pair
+	// contributes one edge.
+	for pi := range v.Partitions {
+		doors := v.Partitions[pi].Doors
+		for _, d := range doors {
+			g.off[d+1] += int32(len(doors) - 1)
+		}
+	}
+	for d := 0; d < n; d++ {
+		g.off[d+1] += g.off[d]
+	}
+	g.nbr = make([]indoor.DoorID, g.off[n])
+	g.wt = make([]float64, g.off[n])
+	// Pass 2: fill rows in the same scan order, advancing a per-door cursor.
+	cur := make([]int32, n)
+	copy(cur, g.off[:n])
 	for pi := range v.Partitions {
 		p := &v.Partitions[pi]
 		doors := p.Doors
@@ -36,8 +55,10 @@ func New(v *indoor.Venue) *Graph {
 				if i == j {
 					continue
 				}
-				w := v.IntraDoorDist(p.ID, doors[i], doors[j])
-				g.adj[doors[i]] = append(g.adj[doors[i]], edge{to: doors[j], w: w})
+				c := cur[doors[i]]
+				g.nbr[c] = doors[j]
+				g.wt[c] = v.IntraDoorDist(p.ID, doors[i], doors[j])
+				cur[doors[i]] = c + 1
 			}
 		}
 	}
@@ -68,7 +89,7 @@ func (g *Graph) FromDoors(srcs []indoor.DoorID, offsets []float64) []float64 {
 }
 
 func (g *Graph) dijkstra(srcs []indoor.DoorID, offsets []float64, wantParents bool) ([]float64, []indoor.DoorID) {
-	n := len(g.adj)
+	n := g.venue.NumDoors()
 	dist := make([]float64, n)
 	for i := range dist {
 		dist[i] = Unreachable
@@ -80,7 +101,9 @@ func (g *Graph) dijkstra(srcs []indoor.DoorID, offsets []float64, wantParents bo
 			parent[i] = -1
 		}
 	}
-	q := pq.New[indoor.DoorID](64)
+	// Dijkstra pops in nondecreasing distance order, so the monotone bucket
+	// queue applies; its fallback heap never engages here.
+	q := pq.NewBucket[indoor.DoorID](64)
 	for i, s := range srcs {
 		if offsets[i] < dist[s] {
 			dist[s] = offsets[i]
@@ -92,14 +115,15 @@ func (g *Graph) dijkstra(srcs []indoor.DoorID, offsets []float64, wantParents bo
 		if dd > dist[d] {
 			continue // stale entry
 		}
-		for _, e := range g.adj[d] {
-			nd := dd + e.w
-			if nd < dist[e.to] {
-				dist[e.to] = nd
+		for c := g.off[d]; c < g.off[d+1]; c++ {
+			to := g.nbr[c]
+			nd := dd + g.wt[c]
+			if nd < dist[to] {
+				dist[to] = nd
 				if wantParents {
-					parent[e.to] = d
+					parent[to] = d
 				}
-				q.Push(e.to, nd)
+				q.Push(to, nd)
 			}
 		}
 	}
@@ -238,7 +262,7 @@ func (g *Graph) PartitionToPartition(a, b indoor.PartitionID) float64 {
 // small venues (tests); construction-time callers use per-door FromDoor to
 // bound memory.
 func (g *Graph) AllPairs() [][]float64 {
-	n := len(g.adj)
+	n := g.venue.NumDoors()
 	m := make([][]float64, n)
 	for i := 0; i < n; i++ {
 		m[i] = g.FromDoor(indoor.DoorID(i))
@@ -247,4 +271,4 @@ func (g *Graph) AllPairs() [][]float64 {
 }
 
 // Degree returns the number of outgoing edges of door d (diagnostics).
-func (g *Graph) Degree(d indoor.DoorID) int { return len(g.adj[d]) }
+func (g *Graph) Degree(d indoor.DoorID) int { return int(g.off[d+1] - g.off[d]) }

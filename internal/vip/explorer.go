@@ -37,22 +37,36 @@ type Explorer struct {
 	srcLeaf  NodeID
 	srcDoors []indoor.DoorID
 
-	adVec   map[NodeID][][]float64 // rows × AccessDoors(node)
-	doorVec map[NodeID][][]float64 // leaves: rows × doors(leaf)
+	// Memo vectors indexed by dense NodeID; nil marks "not yet computed".
+	// Every computed vector is non-nil (alloc returns a non-nil slice even
+	// for zero rows), so the nil check is an exact presence test.
+	adVec   [][][]float64 // rows × AccessDoors(node)
+	doorVec [][][]float64 // leaves: rows × doors(leaf)
+	nVec    int           // number of memoized vectors across both slices
+
+	// path[n] reports whether node n lies on the source leaf's root path,
+	// precomputed so the hot-path membership test is one array load instead
+	// of a parent-chain walk.
+	path []bool
 }
 
 // NewExplorer returns an Explorer rooted at source partition src. Safe to
 // call concurrently on a shared tree; the returned Explorer itself is for
 // a single goroutine.
 func (t *Tree) NewExplorer(src indoor.PartitionID) *Explorer {
-	return &Explorer{
+	e := &Explorer{
 		t:        t,
 		src:      src,
 		srcLeaf:  t.leafOf[src],
 		srcDoors: t.venue.Partition(src).Doors,
-		adVec:    make(map[NodeID][][]float64),
-		doorVec:  make(map[NodeID][][]float64),
+		adVec:    make([][][]float64, len(t.nodes)),
+		doorVec:  make([][][]float64, len(t.nodes)),
+		path:     make([]bool, len(t.nodes)),
 	}
+	for c := e.srcLeaf; c != NoNode; c = t.nodes[c].parent {
+		e.path[c] = true
+	}
+	return e
 }
 
 // Source returns the source partition.
@@ -73,8 +87,8 @@ func (e *Explorer) RetainedBytes() int {
 			cells += len(row)
 		}
 	}
-	const mapEntryOverhead = 48
-	return cells*8 + (len(e.adVec)+len(e.doorVec))*mapEntryOverhead
+	const vecOverhead = 24 // slice header per memoized vector
+	return cells*8 + e.nVec*vecOverhead
 }
 
 // SrcDoors returns the source partition's doors; PointOffsets rows follow
@@ -106,7 +120,7 @@ func (e *Explorer) PointOffsetsAppend(dst []float64, pt geom.Point) []float64 {
 // of node n. The returned slices are owned by the Explorer; callers must not
 // modify them.
 func (e *Explorer) ADVec(n NodeID) [][]float64 {
-	if v, ok := e.adVec[n]; ok {
+	if v := e.adVec[n]; v != nil {
 		return v
 	}
 	var v [][]float64
@@ -128,18 +142,12 @@ func (e *Explorer) ADVec(n NodeID) [][]float64 {
 		v = e.propagate(base, baseDoors, e.t.nodes[p], nd.access)
 	}
 	e.adVec[n] = v
+	e.nVec++
 	return v
 }
 
 // onPath reports whether n lies on the source leaf's path to the root.
-func (e *Explorer) onPath(n NodeID) bool {
-	for c := e.srcLeaf; c != NoNode; c = e.t.nodes[c].parent {
-		if c == n {
-			return true
-		}
-	}
-	return false
-}
+func (e *Explorer) onPath(n NodeID) bool { return e.path[n] }
 
 // srcRowIdx returns the rows of leaf nd's matrices indexed by the source
 // doors, for the paged row accessors. Resident trees return nil — the
@@ -150,7 +158,7 @@ func (e *Explorer) srcRowIdx(nd *node) []int {
 	}
 	idx := make([]int, len(e.srcDoors))
 	for i, sd := range e.srcDoors {
-		idx[i] = nd.doorIdx[sd]
+		idx[i] = int(nd.doorIdx[sd])
 	}
 	return idx
 }
@@ -162,7 +170,7 @@ func (e *Explorer) accessRowIdx(nd *node) []int {
 	}
 	idx := make([]int, len(nd.access))
 	for i, ad := range nd.access {
-		idx[i] = nd.doorIdx[ad]
+		idx[i] = int(nd.doorIdx[ad])
 	}
 	return idx
 }
@@ -210,11 +218,11 @@ func (e *Explorer) propagate(base [][]float64, baseDoors []indoor.DoorID, via *n
 	v := alloc(rows, len(target))
 	bi := make([]int, len(baseDoors))
 	for k, d := range baseDoors {
-		bi[k] = via.uIdx[d]
+		bi[k] = int(via.uIdx[d])
 	}
 	ti := make([]int, len(target))
 	for k, d := range target {
-		ti[k] = via.uIdx[d]
+		ti[k] = int(via.uIdx[d])
 	}
 	u := e.t.unionMatRows(via, bi)
 	for i := 0; i < rows; i++ {
@@ -234,7 +242,7 @@ func (e *Explorer) propagate(base [][]float64, baseDoors []indoor.DoorID, via *n
 // DoorVec returns the distance rows from each source door to every door of
 // leaf node n. The returned slices are owned by the Explorer.
 func (e *Explorer) DoorVec(n NodeID) [][]float64 {
-	if v, ok := e.doorVec[n]; ok {
+	if v := e.doorVec[n]; v != nil {
 		return v
 	}
 	t := e.t
@@ -266,6 +274,7 @@ func (e *Explorer) DoorVec(n NodeID) [][]float64 {
 		}
 	}
 	e.doorVec[n] = v
+	e.nVec++
 	return v
 }
 

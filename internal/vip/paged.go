@@ -660,15 +660,9 @@ func openPagedStructure(r io.ReaderAt, size int64, v *indoor.Venue) (*Tree, page
 			uDoors: ng.UDoors, ancIDs: ng.AncIDs,
 		}
 		if nd.leaf {
-			nd.doorIdx = make(map[indoor.DoorID]int, len(nd.doors))
-			for i, d := range nd.doors {
-				nd.doorIdx[d] = i
-			}
+			nd.doorIdx = denseIdx(t.venue.NumDoors(), nd.doors)
 		} else {
-			nd.uIdx = make(map[indoor.DoorID]int, len(nd.uDoors))
-			for i, d := range nd.uDoors {
-				nd.uIdx[d] = i
-			}
+			nd.uIdx = denseIdx(t.venue.NumDoors(), nd.uDoors)
 		}
 		t.nodes = append(t.nodes, nd)
 	}

@@ -251,15 +251,9 @@ func Load(r io.Reader, v *indoor.Venue) (*Tree, error) {
 			ancIDs: ng.AncIDs, anc: ng.Anc,
 		}
 		if nd.leaf {
-			nd.doorIdx = make(map[indoor.DoorID]int, len(nd.doors))
-			for i, d := range nd.doors {
-				nd.doorIdx[d] = i
-			}
+			nd.doorIdx = denseIdx(t.venue.NumDoors(), nd.doors)
 		} else {
-			nd.uIdx = make(map[indoor.DoorID]int, len(nd.uDoors))
-			for i, d := range nd.uDoors {
-				nd.uIdx[d] = i
-			}
+			nd.uIdx = denseIdx(t.venue.NumDoors(), nd.uDoors)
 		}
 		t.nodes = append(t.nodes, nd)
 	}

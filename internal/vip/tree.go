@@ -76,7 +76,7 @@ type node struct {
 
 	doors   []indoor.DoorID // leaf: all doors of its partitions
 	access  []indoor.DoorID // doors connecting the node to the outside
-	doorIdx map[indoor.DoorID]int
+	doorIdx []int32         // dense door ID → row in doors; -1 when absent
 
 	// full is the leaf door × door distance matrix.
 	full [][]float64
@@ -84,7 +84,7 @@ type node struct {
 	// uDoors is, for internal nodes, the union of the children's access
 	// doors; uMat is the distance matrix over uDoors.
 	uDoors []indoor.DoorID
-	uIdx   map[indoor.DoorID]int
+	uIdx   []int32 // dense door ID → row in uDoors; -1 when absent
 	uMat   [][]float64
 
 	// anc holds, for leaves of a vivid tree, one matrix per strict
@@ -478,10 +478,7 @@ func (t *Tree) computeDoorSets() {
 			}
 		}
 		sort.Slice(nd.doors, func(i, j int) bool { return nd.doors[i] < nd.doors[j] })
-		nd.doorIdx = make(map[indoor.DoorID]int, len(nd.doors))
-		for i, d := range nd.doors {
-			nd.doorIdx[d] = i
-		}
+		nd.doorIdx = denseIdx(v.NumDoors(), nd.doors)
 	}
 	// Access doors of node n: doors with exactly one side inside n's
 	// subtree (exterior doors lead outside the venue and are not access
@@ -515,11 +512,23 @@ func (t *Tree) computeDoorSets() {
 			}
 		}
 		sort.Slice(nd.uDoors, func(i, j int) bool { return nd.uDoors[i] < nd.uDoors[j] })
-		nd.uIdx = make(map[indoor.DoorID]int, len(nd.uDoors))
-		for i, d := range nd.uDoors {
-			nd.uIdx[d] = i
-		}
+		nd.uIdx = denseIdx(v.NumDoors(), nd.uDoors)
 	}
+}
+
+// denseIdx builds a door-row lookup over the venue's contiguous door ID
+// space: idx[d] is the row of door d in doors, -1 when absent. An array
+// lookup replaces the map probe on every matrix access in the explorer hot
+// path.
+func denseIdx(numDoors int, doors []indoor.DoorID) []int32 {
+	idx := make([]int32, numDoors)
+	for i := range idx {
+		idx[i] = -1
+	}
+	for i, d := range doors {
+		idx[d] = int32(i)
+	}
+	return idx
 }
 
 // nodeDoors returns all doors of n's subtree boundary-or-interior for leaf
