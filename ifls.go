@@ -73,6 +73,7 @@ import (
 	"math/rand"
 	"time"
 
+	"github.com/indoorspatial/ifls/internal/continuous"
 	"github.com/indoorspatial/ifls/internal/core"
 	"github.com/indoorspatial/ifls/internal/faults"
 	"github.com/indoorspatial/ifls/internal/geom"
@@ -756,6 +757,64 @@ type Simulation = motion.Simulation
 // NewSimulation creates a crowd simulation over the indexed venue.
 func (ix *Index) NewSimulation(cfg SimulationConfig) (*Simulation, error) {
 	return motion.NewSimulation(ix.venue, ix.tree.Graph(), cfg)
+}
+
+// Continuous maintenance: a standing IFLS query kept up to date as clients
+// move and doors open or close on schedule.
+
+// ContinuousEngine maintains one MinMax IFLS answer incrementally across
+// simulation ticks, re-solving only clients whose cached distance state a
+// tick actually disturbed. See internal/continuous for the exactness
+// contract: every maintained answer is bit-identical to a fresh solve over
+// the same snapshot.
+type ContinuousEngine = continuous.Engine
+
+// ContinuousEvent is one engine notification delivered to Subscribe
+// callbacks.
+type ContinuousEvent = continuous.Event
+
+// ContinuousStats holds an engine's lifetime counters.
+type ContinuousStats = continuous.Stats
+
+// Continuous event kinds.
+const (
+	// ContinuousTick is delivered after every tick.
+	ContinuousTick = continuous.EventTick
+	// ContinuousAnswerChanged is delivered, after the tick event, when
+	// the maintained answer differs from the previous tick's.
+	ContinuousAnswerChanged = continuous.EventAnswerChanged
+)
+
+// ContinuousConfig parameterizes NewContinuous. The engine is wired to the
+// Index's tree and metrics automatically; only the standing query, the
+// population, and (optionally) a door timetable need to be supplied.
+type ContinuousConfig struct {
+	// Sim is the client population. The engine owns stepping it: callers
+	// must not call Sim.Step while the engine is live. Required.
+	Sim *Simulation
+	// Existing and Candidates are the standing query's facility sets.
+	Existing, Candidates []PartitionID
+	// Timetable, when non-nil, drives door-schedule transitions. It must
+	// be built over the indexed venue (NewTimetable).
+	Timetable *Timetable
+	// ClockStart is the simulated time-of-day at tick zero.
+	ClockStart time.Duration
+}
+
+// NewContinuous creates a standing-query engine over the indexed venue.
+// Drive it with Tick; observe it with Subscribe, Result, and Stats. The
+// index's metrics sink (WithMetrics), when set, receives the engine's
+// continuous_* counters.
+func (ix *Index) NewContinuous(cfg ContinuousConfig) (*ContinuousEngine, error) {
+	return continuous.New(continuous.Config{
+		Tree:       ix.tree,
+		Sim:        cfg.Sim,
+		Existing:   cfg.Existing,
+		Candidates: cfg.Candidates,
+		Timetable:  cfg.Timetable,
+		ClockStart: cfg.ClockStart,
+		Metrics:    ix.metrics,
+	})
 }
 
 // Workload generation, re-exported for examples and downstream load tests.

@@ -298,6 +298,87 @@ func TestPublicTemporal(t *testing.T) {
 	}
 }
 
+func TestPublicContinuous(t *testing.T) {
+	// buildOffice plus one extra door between rooms 2 and 3, so a
+	// scheduled corridor door can close without disconnecting the venue.
+	b := ifls.NewBuilder("office")
+	hall := b.AddCorridor(ifls.R(0, 0, 40, 4, 0), "hall")
+	var rooms []ifls.PartitionID
+	for i := 0; i < 4; i++ {
+		x0 := float64(i * 10)
+		r := b.AddRoom(ifls.R(x0, 4, x0+10, 14, 0), "", "")
+		b.AddDoor(ifls.Pt(x0+5, 4, 0), r, hall)
+		rooms = append(rooms, r)
+	}
+	b.AddDoor(ifls.Pt(30, 9, 0), rooms[2], rooms[3])
+	v, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	ix, err := ifls.NewIndex(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt := ix.NewTimetable()
+	// Room 3's corridor door (door ID 3) opens during business hours.
+	if err := tt.SetDoor(3, ifls.Daily(9*time.Hour, 17*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	sim, err := ix.NewSimulation(ifls.SimulationConfig{Walkers: 12, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := ix.NewContinuous(ifls.ContinuousConfig{
+		Sim:        sim,
+		Existing:   []ifls.PartitionID{rooms[0]},
+		Candidates: rooms[1:],
+		Timetable:  tt,
+		ClockStart: 8*time.Hour + 59*time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ticks, changes int
+	cancel := eng.Subscribe(func(ev ifls.ContinuousEvent) {
+		switch ev.Kind {
+		case ifls.ContinuousTick:
+			ticks++
+		case ifls.ContinuousAnswerChanged:
+			changes++
+		}
+	})
+	defer cancel()
+	const n = 8
+	for i := 0; i < n; i++ {
+		// Crosses the 9:00 door opening on the second tick.
+		res, err := eng.Tick(30 * time.Second)
+		if err != nil {
+			t.Fatalf("Tick %d: %v", i, err)
+		}
+		// The answer must match a fresh masked solve over the same
+		// snapshot at the same clock.
+		clients := sim.Snapshot()
+		want := ix.SolveAt(tt, &ifls.Query{
+			Existing:   []ifls.PartitionID{rooms[0]},
+			Candidates: rooms[1:],
+			Clients:    clients,
+		}, eng.Clock())
+		if res.Found != want.Found || res.Answer != want.Answer {
+			t.Fatalf("tick %d: engine %+v, fresh %+v", i, res, want)
+		}
+	}
+	if ticks != n {
+		t.Fatalf("tick events = %d, want %d", ticks, n)
+	}
+	st := eng.Stats()
+	if st.Ticks != n || st.Transitions < 1 {
+		t.Fatalf("stats = %+v, want %d ticks and >=1 transition", st, n)
+	}
+	if int(st.AnswerChanges) != changes {
+		t.Fatalf("answer-change events %d != stats %d", changes, st.AnswerChanges)
+	}
+}
+
 func TestPublicMultiAndNeighbors(t *testing.T) {
 	v, rooms := buildOffice(t)
 	ix, err := ifls.NewIndex(v)

@@ -262,6 +262,7 @@ var Figures = map[string]func(io.Writer, *Runner, Config) ([]Measurement, error)
 	"counters":  Counters,
 	"parallel":  Parallel,
 	"coldstart": ColdStart,
+	"rushhour":  RushHour,
 }
 
 // FigureOrder lists figure identifiers in paper order. Figures 8a-8c share

@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRushHourSmoke runs the rush-hour figure end to end on the smallest
+// venue at the smallest walker count. The figure is itself a differential
+// test — it fails if any tick's incremental answer differs from a fresh
+// solve — so passing here means the whole moving-crowd pipeline (motion →
+// continuous → core) agreed for 80 ticks across two door transitions.
+func TestRushHourSmoke(t *testing.T) {
+	r := NewRunner()
+	cfg := DefaultConfig().Scaled(1000) // ClientDefault floor -> rushMinWalkers
+	cfg.Venues = []string{"CPH"}
+	var buf bytes.Buffer
+	if _, err := RushHour(&buf, r, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "CPH") {
+		t.Fatalf("no CPH row in output:\n%s", out)
+	}
+	// The venue must actually have crossed its two scheduled transitions;
+	// a tree-shaped topology would silently drop to zero and stop
+	// exercising the era-rebuild path.
+	fields := strings.Fields(out[strings.Index(out, "CPH"):])
+	if len(fields) < 4 || fields[3] != "2" {
+		t.Fatalf("CPH row did not report 2 transitions:\n%s", out)
+	}
+}

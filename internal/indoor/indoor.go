@@ -19,6 +19,10 @@ type DoorID int32
 // entrance door).
 const NoPartition PartitionID = -1
 
+// NoDoor marks the absence of a door (e.g. a door dropped from a temporal
+// snapshot because its schedule closed it).
+const NoDoor DoorID = -1
+
 // Kind classifies a partition by its role in the venue.
 type Kind uint8
 

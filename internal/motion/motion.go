@@ -116,11 +116,21 @@ type Walker struct {
 	// Dwell is how long the walker pauses at a goal before re-planning.
 	Dwell time.Duration
 
-	traj    Trajectory
-	walked  float64
-	resting time.Duration
+	traj   Trajectory
+	walked float64
+	// restSec is the remaining dwell time in seconds. Dwell time is
+	// tracked as a float so that residual-time accounting stays exact
+	// across step granularities (a time.Duration would quantize the
+	// fractional remainders carried between states).
+	restSec float64
 	loc     geom.Point
 	part    indoor.PartitionID
+	cumDist float64
+	// rng drives this walker's goal choices. Per-walker streams keep a
+	// walker's decisions independent of when other walkers replan, so a
+	// simulation's outcome does not depend on how ticks interleave the
+	// walkers' state transitions (see TestStepGranularityInvariance).
+	rng *rand.Rand
 }
 
 // Client snapshots the walker as an IFLS client.
@@ -164,6 +174,9 @@ func NewSimulation(v *indoor.Venue, g *d2d.Graph, cfg Config) (*Simulation, erro
 	if cfg.Dwell == 0 {
 		cfg.Dwell = 30 * time.Second
 	}
+	if cfg.Dwell < 0 {
+		return nil, fmt.Errorf("motion: negative dwell %v", cfg.Dwell)
+	}
 	s := &Simulation{
 		venue: v,
 		graph: g,
@@ -181,6 +194,7 @@ func NewSimulation(v *indoor.Venue, g *d2d.Graph, cfg Config) (*Simulation, erro
 			Dwell: cfg.Dwell,
 			loc:   v.RandomPointIn(part, s.rng.Float64(), s.rng.Float64()),
 			part:  part,
+			rng:   rand.New(rand.NewSource(s.rng.Int63())),
 		}
 		s.plan(w)
 		s.walkers = append(s.walkers, w)
@@ -188,37 +202,81 @@ func NewSimulation(v *indoor.Venue, g *d2d.Graph, cfg Config) (*Simulation, erro
 	return s, nil
 }
 
-// plan assigns w a new random goal room and trajectory.
+// plan assigns w a new random goal room and trajectory, drawn from the
+// walker's own random stream.
 func (s *Simulation) plan(w *Walker) {
-	goalPart := s.rooms[s.rng.Intn(len(s.rooms))]
-	goal := s.venue.RandomPointIn(goalPart, s.rng.Float64(), s.rng.Float64())
+	goalPart := s.rooms[w.rng.Intn(len(s.rooms))]
+	goal := s.venue.RandomPointIn(goalPart, w.rng.Float64(), w.rng.Float64())
 	w.traj = PlanTrajectory(s.graph, w.loc, w.part, goal, goalPart)
 	w.walked = 0
-	w.resting = 0
+	w.restSec = 0
 }
 
-// Step advances the simulation by dt.
+// Step advances the simulation by dt. Each walker runs its full state
+// machine inside the tick — rest-expiry, replanning, walking, arrival, and
+// the next dwell — with the residual time carried across every transition,
+// so a walker's history depends only on total elapsed time, not on how it
+// is divided into ticks: Step(1s) sixty times and Step(60s) once agree to
+// within float rounding.
 func (s *Simulation) Step(dt time.Duration) {
 	s.elapsed += dt
+	sec := dt.Seconds()
 	for _, w := range s.walkers {
-		if w.resting > 0 {
-			w.resting -= dt
-			if w.resting > 0 {
-				continue
+		s.advance(w, sec)
+	}
+}
+
+// advance moves one walker through sec seconds of simulated time. Each loop
+// iteration consumes the prefix of sec spent in the walker's current state
+// (dwelling or walking) and hands the remainder to the next state;
+// NewSimulation guarantees Dwell > 0, so every arrival consumes time and
+// the loop terminates.
+func (s *Simulation) advance(w *Walker, sec float64) {
+	for sec > 0 {
+		if w.restSec > 0 {
+			if w.restSec > sec {
+				w.restSec -= sec
+				return
 			}
+			sec -= w.restSec
+			w.restSec = 0
 			s.plan(w)
 			continue
 		}
-		w.walked += w.Speed * dt.Seconds()
-		w.loc, w.part = w.traj.At(w.walked)
-		if w.walked >= w.traj.Length {
-			w.resting = w.Dwell
+		if remain := w.traj.Length - w.walked; remain > w.Speed*sec {
+			w.walked += w.Speed * sec
+			w.cumDist += w.Speed * sec
+			w.loc, w.part = w.traj.At(w.walked)
+			return
 		}
+		// Arrival: walk exactly the remaining leg, then dwell; the
+		// overshoot time flows into the dwell (and, when the dwell is
+		// shorter still, onward into the next trip).
+		remain := w.traj.Length - w.walked
+		if remain > 0 {
+			sec -= remain / w.Speed
+			w.cumDist += remain
+		}
+		w.walked = w.traj.Length
+		w.loc, w.part = w.traj.At(w.walked)
+		w.restSec = w.Dwell.Seconds()
 	}
 }
 
 // Elapsed returns the simulated time so far.
 func (s *Simulation) Elapsed() time.Duration { return s.elapsed }
+
+// TotalWalked returns the cumulative distance walked by the whole
+// population, in meters. Because Step carries residual time across state
+// transitions, the total depends only on elapsed simulated time, not on
+// the step granularity (pinned by TestStepGranularityInvariance).
+func (s *Simulation) TotalWalked() float64 {
+	total := 0.0
+	for _, w := range s.walkers {
+		total += w.cumDist
+	}
+	return total
+}
 
 // Snapshot returns the current population as IFLS clients.
 func (s *Simulation) Snapshot() []core.Client {

@@ -188,6 +188,139 @@ func TestSimulationConfigValidation(t *testing.T) {
 	}
 }
 
+func TestTrajectoryZeroLength(t *testing.T) {
+	v := testvenue.TwoRooms()
+	g := d2d.New(v)
+	p := geom.Pt(3, 4, 0)
+	tr := PlanTrajectory(g, p, 0, p, 0)
+	if tr.Length != 0 {
+		t.Fatalf("Length = %v, want 0", tr.Length)
+	}
+	for _, d := range []float64{-1, 0, 0.5} {
+		if pt, part := tr.At(d); pt != p || part != 0 {
+			t.Fatalf("At(%v) = %v in %d, want %v in 0", d, pt, part, p)
+		}
+	}
+}
+
+func TestTrajectoryStairHandoffAtMidpoint(t *testing.T) {
+	v := testvenue.Grid(testvenue.GridParams{Cols: 2, Levels: 2, StairLength: 12})
+	g := d2d.New(v)
+	var l0, l1 indoor.PartitionID = indoor.NoPartition, indoor.NoPartition
+	for _, r := range v.Rooms() {
+		if v.Partition(r).Level() == 0 && l0 == indoor.NoPartition {
+			l0 = r
+		}
+		if v.Partition(r).Level() == 1 && l1 == indoor.NoPartition {
+			l1 = r
+		}
+	}
+	tr := PlanTrajectory(g, v.Partition(l0).Rect.Center(), l0, v.Partition(l1).Rect.Center(), l1)
+	stair := -1
+	for i := 1; i < len(tr.Waypoints); i++ {
+		if tr.Waypoints[i-1].Loc.Level != tr.Waypoints[i].Loc.Level {
+			stair = i
+			break
+		}
+	}
+	if stair < 0 {
+		t.Fatal("route does not cross the stairwell")
+	}
+	a, b := tr.Waypoints[stair-1], tr.Waypoints[stair]
+	mid := a.DistFromStart + 0.5*(b.DistFromStart-a.DistFromStart)
+	// Below the midpoint the walker reports the near end of the stair leg,
+	// in the partition it entered the stair from.
+	if pt, part := tr.At(mid - 1e-6); pt != a.Loc || part != tr.Waypoints[stair-1].LegPart {
+		t.Fatalf("just below stair midpoint: %v in %d, want %v in %d",
+			pt, part, a.Loc, tr.Waypoints[stair-1].LegPart)
+	}
+	// At exactly f == 0.5 the hand-off happens: the far end's door, located
+	// in the partition the walker is about to pass through.
+	wantPart := b.LegPart
+	if stair+1 < len(tr.Waypoints) {
+		wantPart = tr.Waypoints[stair+1].LegPart
+	}
+	if pt, part := tr.At(mid); pt != b.Loc || part != wantPart {
+		t.Fatalf("at stair midpoint: %v in %d, want %v in %d (hand-off at f==0.5 is far-side)",
+			pt, part, b.Loc, wantPart)
+	}
+	if pt, _ := tr.At(mid); pt.Level == a.Loc.Level {
+		t.Fatal("midpoint hand-off did not change level")
+	}
+}
+
+func TestPlanTrajectoryExteriorDoorFallback(t *testing.T) {
+	// A route whose door sequence includes an exterior door: the goal sits
+	// exactly at an entrance on the room's far wall, collinear with the
+	// interior door, and the entrance is listed first among the room's
+	// doors, so PointRoute's first-wins tie-break routes through it.
+	b := indoor.NewBuilder("exterior")
+	cor := b.AddCorridor(geom.R(0, 0, 20, 2, 0), "C")
+	room := b.AddRoom(geom.R(0, 2, 10, 12, 0), "R", "")
+	b.AddDoor(geom.Pt(5, 12, 0), room, indoor.NoPartition) // entrance
+	b.AddDoor(geom.Pt(5, 2, 0), cor, room)
+	v, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := d2d.New(v)
+	start, goal := geom.Pt(5, 1, 0), geom.Pt(5, 12, 0)
+	tr := PlanTrajectory(g, start, cor, goal, room)
+	if !almostEq(tr.Length, 11) {
+		t.Fatalf("Length = %v, want 11", tr.Length)
+	}
+	sawExterior := false
+	for _, wp := range tr.Waypoints {
+		if wp.Loc == geom.Pt(5, 12, 0) && wp.DistFromStart < tr.Length {
+			sawExterior = true
+		}
+		if wp.LegPart == indoor.NoPartition {
+			t.Fatalf("waypoint %+v located nowhere", wp)
+		}
+	}
+	if !sawExterior {
+		t.Skip("route avoided the exterior door; fallback not exercised")
+	}
+	// Between the interior door and the entrance the walker is inside the
+	// room — the fallback must keep it there rather than NoPartition.
+	pt, part := tr.At(6)
+	if part != room || !almostEq(pt.X, 5) || !almostEq(pt.Y, 7) {
+		t.Fatalf("At(6) = %v in %d, want (5, 7) in room %d", pt, part, room)
+	}
+	for d := 0.0; d <= tr.Length; d += 0.25 {
+		if _, part := tr.At(d); part == indoor.NoPartition {
+			t.Fatalf("At(%v) located nowhere", d)
+		}
+	}
+}
+
+func TestStepGranularityInvariance(t *testing.T) {
+	v := testvenue.Grid(testvenue.GridParams{Cols: 5, Levels: 2, InterRoomDoors: true})
+	g := d2d.New(v)
+	const horizon = time.Hour
+	run := func(dt time.Duration) float64 {
+		sim, err := NewSimulation(v, g, Config{Walkers: 25, Seed: 7, Dwell: 45 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for el := time.Duration(0); el < horizon; el += dt {
+			sim.Step(dt)
+		}
+		return sim.TotalWalked()
+	}
+	base := run(100 * time.Millisecond)
+	if base <= 0 {
+		t.Fatal("population walked nowhere in a simulated hour")
+	}
+	for _, dt := range []time.Duration{time.Second, time.Minute} {
+		got := run(dt)
+		if rel := math.Abs(got-base) / base; rel > 1e-9 {
+			t.Errorf("TotalWalked(dt=%v) = %v, want %v (rel err %g): effective speed depends on step granularity",
+				dt, got, base, rel)
+		}
+	}
+}
+
 func TestSimulationDeterministic(t *testing.T) {
 	v := testvenue.Grid(testvenue.GridParams{Cols: 4, Levels: 1})
 	g := d2d.New(v)

@@ -118,6 +118,18 @@ type Metrics struct {
 	pageCacheMisses    atomic.Int64
 	pageCacheEvictions atomic.Int64
 	pagesRead          atomic.Int64
+
+	// Standing-query counters (internal/continuous): ticks counts engine
+	// ticks; resolved and reused split each tick's clients into rows
+	// recomputed versus carried over; invalidations counts client rows
+	// discarded because a door-schedule transition changed their
+	// partition's distance state; answer changes counts ticks whose
+	// maintained answer differed from the previous one.
+	continuousTicks         atomic.Int64
+	continuousResolved      atomic.Int64
+	continuousReused        atomic.Int64
+	continuousInvalidations atomic.Int64
+	continuousAnswerChanges atomic.Int64
 }
 
 // NewMetrics returns an empty Metrics.
@@ -203,6 +215,26 @@ func (m *Metrics) PageCacheEviction() { m.pageCacheEvictions.Add(1) }
 // Safe for concurrent use.
 func (m *Metrics) PageRead() { m.pagesRead.Add(1) }
 
+// ContinuousTick records one standing-query engine tick that re-solved
+// `resolved` client rows and reused `reused` cached ones. Safe for
+// concurrent use.
+func (m *Metrics) ContinuousTick(resolved, reused int) {
+	m.continuousTicks.Add(1)
+	m.continuousResolved.Add(int64(resolved))
+	m.continuousReused.Add(int64(reused))
+}
+
+// ContinuousInvalidation records n client rows discarded because a
+// door-schedule transition changed their partition's distance state. Safe
+// for concurrent use.
+func (m *Metrics) ContinuousInvalidation(n int) {
+	m.continuousInvalidations.Add(int64(n))
+}
+
+// ContinuousAnswerChange records one tick whose maintained answer differed
+// from the previous tick's. Safe for concurrent use.
+func (m *Metrics) ContinuousAnswerChange() { m.continuousAnswerChanges.Add(1) }
+
 // InFlight returns the current value of the in-flight query gauge.
 func (m *Metrics) InFlight() int64 { return m.inFlight.Load() }
 
@@ -259,6 +291,13 @@ type Snapshot struct {
 	// indexes; PageCacheEvictions counts budget-pressure drops; PagesRead
 	// counts physical page reads.
 	PageCacheHits, PageCacheMisses, PageCacheEvictions, PagesRead int64
+	// ContinuousTicks counts standing-query engine ticks;
+	// ContinuousResolved and ContinuousReused split each tick's clients
+	// into recomputed versus carried-over rows;
+	// ContinuousInvalidations counts rows discarded on door-schedule
+	// transitions; ContinuousAnswerChanges counts answer flips.
+	ContinuousTicks, ContinuousResolved, ContinuousReused int64
+	ContinuousInvalidations, ContinuousAnswerChanges      int64
 }
 
 // Snapshot returns a consistent-enough copy for serving: each field is
@@ -284,6 +323,12 @@ func (m *Metrics) Snapshot() Snapshot {
 		PageCacheMisses:    m.pageCacheMisses.Load(),
 		PageCacheEvictions: m.pageCacheEvictions.Load(),
 		PagesRead:          m.pagesRead.Load(),
+
+		ContinuousTicks:         m.continuousTicks.Load(),
+		ContinuousResolved:      m.continuousResolved.Load(),
+		ContinuousReused:        m.continuousReused.Load(),
+		ContinuousInvalidations: m.continuousInvalidations.Load(),
+		ContinuousAnswerChanges: m.continuousAnswerChanges.Load(),
 	}
 	for i := range m.stages {
 		s.Stages[i] = m.stages[i].Load()
@@ -341,6 +386,12 @@ func (m *Metrics) expvarMap() map[string]any {
 		"page_cache_misses":    s.PageCacheMisses,
 		"page_cache_evictions": s.PageCacheEvictions,
 		"pages_read":           s.PagesRead,
+
+		"continuous_ticks":                  s.ContinuousTicks,
+		"continuous_clients_resolved":       s.ContinuousResolved,
+		"continuous_clients_reused":         s.ContinuousReused,
+		"continuous_schedule_invalidations": s.ContinuousInvalidations,
+		"continuous_answer_changes":         s.ContinuousAnswerChanges,
 	}
 	if !math.IsNaN(s.GdFinalAvg) {
 		out["gd_final_avg"] = s.GdFinalAvg

@@ -406,6 +406,8 @@ func TestExpvarCatalog(t *testing.T) {
 		"prune_rate", "coalesce_hits", "coalesce_misses", "in_flight",
 		"queries_timed_out", "flights_reaped",
 		"page_cache_hits", "page_cache_misses", "page_cache_evictions", "pages_read",
+		"continuous_ticks", "continuous_clients_resolved", "continuous_clients_reused",
+		"continuous_schedule_invalidations", "continuous_answer_changes",
 	} {
 		if _, ok := rendered[key]; !ok {
 			t.Errorf("expvar key %q missing from metrics export", key)

@@ -8,6 +8,25 @@
 // cost per source partition. Workloads that issue many queries against the
 // same snapshot can instead materialize the snapshot as a venue (when it
 // stays connected) and index it normally.
+//
+// # Snapshot door identity
+//
+// Materializing a snapshot removes closed doors, so the snapshot venue's
+// DoorIDs are renumbered: door IDs are dense indexes, and skipping a closed
+// door shifts every later ID down. Snapshot therefore returns an explicit
+// old→new DoorMap alongside the venue; any structure keyed by the original
+// venue's door IDs — this Timetable included — must be translated through
+// that map before it is applied to the snapshot venue. Partition IDs are
+// never renumbered (partitions are copied unconditionally, in order).
+//
+// # Wrapping schedules
+//
+// An opening window may wrap midnight: Daily(22h, 2h) is open from 22:00
+// through 02:00 the next day. Wrapping intervals (Open > Close) are split
+// internally into [Open, 24h) + [0, Close), so OpenAt, Mask, and Validate
+// all see the equivalent non-wrapping form. Open == Close is rejected as
+// ambiguous (it could mean "never" or "always"); use Always, or omit the
+// door, for an always-open door.
 package temporal
 
 import (
@@ -22,10 +41,14 @@ import (
 	"github.com/indoorspatial/ifls/internal/pq"
 )
 
-// Interval is a half-open daily opening window [Open, Close).
+// Interval is a half-open daily opening window [Open, Close). An interval
+// with Open > Close wraps midnight: it covers [Open, 24h) and [0, Close).
 type Interval struct {
 	Open, Close time.Duration
 }
+
+// wraps reports whether the interval crosses midnight.
+func (iv Interval) wraps() bool { return iv.Open > iv.Close }
 
 // Schedule is a door's daily opening schedule. An empty schedule means
 // always open.
@@ -36,9 +59,24 @@ type Schedule struct {
 // Always is the always-open schedule.
 var Always = Schedule{}
 
-// Daily returns a single-window schedule.
+// Daily returns a single-window schedule. open > close expresses a window
+// that wraps midnight, e.g. Daily(22h, 2h) for a bar open 22:00–02:00.
 func Daily(open, close time.Duration) Schedule {
 	return Schedule{Intervals: []Interval{{Open: open, Close: close}}}
+}
+
+// split appends the interval's non-wrapping equivalent(s) to dst: the
+// interval itself, or — when it wraps midnight — the [Open, 24h) and
+// [0, Close) halves.
+func (iv Interval) split(dst []Interval) []Interval {
+	if !iv.wraps() {
+		return append(dst, iv)
+	}
+	dst = append(dst, Interval{Open: iv.Open, Close: 24 * time.Hour})
+	if iv.Close > 0 {
+		dst = append(dst, Interval{Open: 0, Close: iv.Close})
+	}
+	return dst
 }
 
 // OpenAt reports whether the schedule is open at time-of-day t.
@@ -48,6 +86,12 @@ func (s Schedule) OpenAt(t time.Duration) bool {
 	}
 	t = normalizeDay(t)
 	for _, iv := range s.Intervals {
+		if iv.wraps() {
+			if iv.Open <= t || t < iv.Close {
+				return true
+			}
+			continue
+		}
 		if iv.Open <= t && t < iv.Close {
 			return true
 		}
@@ -55,15 +99,24 @@ func (s Schedule) OpenAt(t time.Duration) bool {
 	return false
 }
 
-// Validate checks that intervals are well-formed (0 <= Open < Close <= 24h)
-// and non-overlapping.
+// Validate checks that intervals are well-formed and non-overlapping.
+// Bounds: 0 <= Open < 24h, 0 < Close <= 24h for plain intervals; a
+// wrapping interval (Open > Close) additionally needs Close >= 0 and is
+// checked in its split form. Open == Close is rejected as ambiguous —
+// use Always (or no schedule) for an always-open door.
 func (s Schedule) Validate() error {
-	ivs := append([]Interval(nil), s.Intervals...)
-	sort.Slice(ivs, func(i, j int) bool { return ivs[i].Open < ivs[j].Open })
-	for i, iv := range ivs {
-		if iv.Open < 0 || iv.Close > 24*time.Hour || iv.Open >= iv.Close {
+	var ivs []Interval
+	for _, iv := range s.Intervals {
+		if iv.Open == iv.Close {
+			return fmt.Errorf("temporal: empty interval [%v, %v): use Always for an always-open door", iv.Open, iv.Close)
+		}
+		if iv.Open < 0 || iv.Open >= 24*time.Hour || iv.Close < 0 || iv.Close > 24*time.Hour {
 			return fmt.Errorf("temporal: bad interval [%v, %v)", iv.Open, iv.Close)
 		}
+		ivs = iv.split(ivs)
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].Open < ivs[j].Open })
+	for i, iv := range ivs {
 		if i > 0 && iv.Open < ivs[i-1].Close {
 			return fmt.Errorf("temporal: overlapping intervals at %v", iv.Open)
 		}
@@ -122,11 +175,32 @@ func (tt *Timetable) Mask(t time.Duration) []bool {
 	return open
 }
 
+// DoorMap translates the originating venue's door IDs into a snapshot
+// venue's IDs. Indexed by original DoorID; closed doors, absent from the
+// snapshot, map to indoor.NoDoor.
+type DoorMap []indoor.DoorID
+
+// Apply returns the snapshot venue's ID for an original door, or
+// indoor.NoDoor when that door is closed in the snapshot (or out of range).
+func (m DoorMap) Apply(d indoor.DoorID) indoor.DoorID {
+	if int(d) < 0 || int(d) >= len(m) {
+		return indoor.NoDoor
+	}
+	return m[d]
+}
+
 // Snapshot materializes the venue as it stands at time-of-day t: closed
-// doors removed. It fails when removing them disconnects the venue (the
+// doors removed. Removing doors renumbers the survivors (door IDs are dense
+// indexes), so the returned DoorMap records, for every original door, its
+// ID in the snapshot venue — indoor.NoDoor for closed doors. Schedules,
+// masks, and any other door-keyed state built against the original venue
+// must be translated through that map before use on the snapshot (see the
+// package documentation). Partition IDs carry over unchanged.
+//
+// Snapshot fails when removing the closed doors disconnects the venue (the
 // indoor model requires connectivity); callers fall back to masked-graph
 // queries, which tolerate unreachable regions by reporting +Inf.
-func (tt *Timetable) Snapshot(t time.Duration) (*indoor.Venue, error) {
+func (tt *Timetable) Snapshot(t time.Duration) (*indoor.Venue, DoorMap, error) {
 	v := tt.venue
 	open := tt.Mask(t)
 	b := indoor.NewBuilder(fmt.Sprintf("%s@%v", v.Name, normalizeDay(t)))
@@ -141,14 +215,23 @@ func (tt *Timetable) Snapshot(t time.Duration) (*indoor.Venue, error) {
 			b.AddStair(p.Rect, p.Name, p.StairLength)
 		}
 	}
+	doorMap := make(DoorMap, len(v.Doors))
+	next := indoor.DoorID(0)
 	for i := range v.Doors {
 		if !open[i] {
+			doorMap[i] = indoor.NoDoor
 			continue
 		}
 		d := &v.Doors[i]
 		b.AddDoor(d.Loc, d.A, d.B)
+		doorMap[i] = next
+		next++
 	}
-	return b.Build()
+	snap, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return snap, doorMap, nil
 }
 
 // DistAt returns the exact indoor distance between two located points at
